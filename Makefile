@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test race bench repro fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpi/ ./internal/checkpoint/ ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# regenerate every table and figure of the paper
+repro:
+	$(GO) run ./cmd/bench -all
+
+repro-full:
+	$(GO) run ./cmd/bench -all -full
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecompress -fuzztime 30s ./internal/lz4/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime 30s ./internal/lz4/
+	$(GO) test -fuzz=FuzzLoad -fuzztime 30s ./internal/checkpoint/
+
+clean:
+	rm -f *.pgm *.swvm *.swq test_output.txt bench_output.txt
+
+# run the paper-size (160x160x512) core-group executor cross-check (~60 s)
+test-paper:
+	SWQUAKE_PAPER_BLOCK=1 $(GO) test -run TestExecutedMEMPaperBlock -v ./internal/experiments/

@@ -1,0 +1,119 @@
+// Command hazard produces the seismic hazard map of the Tangshan scenario
+// (paper Fig. 11e-f): it runs the scaled ground-motion simulation, converts
+// the surface peak ground velocity to Chinese seismic intensity, prints an
+// ASCII hazard map and per-station intensities, and optionally writes PGM
+// images at two resolutions for the paper's coarse-vs-fine comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"swquake/internal/core"
+	"swquake/internal/grid"
+	"swquake/internal/output"
+	"swquake/internal/scenario"
+	"swquake/internal/seismo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hazard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hazard", flag.ContinueOnError)
+	var (
+		nx        = fs.Int("nx", 64, "grid points along x")
+		ny        = fs.Int("ny", 62, "grid points along y")
+		nz        = fs.Int("nz", 24, "grid points in depth")
+		dx        = fs.Float64("dx", 500, "grid spacing, m")
+		steps     = fs.Int("steps", 240, "time steps")
+		nonlinear = fs.Bool("nonlinear", true, "Drucker-Prager plasticity")
+		compare   = fs.Bool("compare", false, "also run at half resolution and compare maps")
+		outDir    = fs.String("out", "", "directory for PGM maps")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc := scenario.Tangshan{
+		Dims: grid.Dims{Nx: *nx, Ny: *ny, Nz: *nz}, Dx: *dx, Steps: *steps, Nonlinear: *nonlinear,
+	}
+	fine, err := runScenario(sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("hazard map (%dx%d surface, dx=%.0f m):\n", *nx, *ny, *dx)
+	ig := output.IntensityGrid(fine.PGV)
+	output.ASCIIMap(os.Stdout, ig, 64)
+
+	periods := []float64{0.3, 1.0, 3.0}
+	fmt.Printf("%-12s %12s %10s %12s %12s %12s %12s %10s\n", "station", "PGV (m/s)", "intensity",
+		"PSA 0.3s", "PSA 1.0s", "PSA 3.0s", "Arias", "D5-95 (s)")
+	for _, tr := range fine.Recorder.Traces {
+		pgv := tr.PeakVelocity()
+		rs := tr.ComputeResponseSpectrum(periods, 0.05)
+		fmt.Printf("%-12s %12.4g %10.1f %12.4g %12.4g %12.4g %12.4g %10.2f\n",
+			tr.Station.Name, pgv, seismo.Intensity(pgv), rs.PSA[0], rs.PSA[1], rs.PSA[2],
+			tr.AriasIntensity(), tr.SignificantDuration())
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		if err := output.SavePGM(filepath.Join(*outDir, "intensity-fine.pgm"), ig, 1, 12); err != nil {
+			return err
+		}
+		fmt.Println("maps written to", *outDir)
+	}
+
+	if *compare {
+		coarseSc := sc
+		coarseSc.Dims = grid.Dims{Nx: *nx / 2, Ny: *ny / 2, Nz: *nz / 2}
+		coarseSc.Dx = *dx * 2
+		coarseSc.Steps = *steps / 2
+		coarse, err := runScenario(coarseSc)
+		if err != nil {
+			return err
+		}
+		changed, n := 0, 0
+		for i := 0; i < coarseSc.Dims.Nx; i++ {
+			for j := 0; j < coarseSc.Dims.Ny; j++ {
+				ic := seismo.Intensity(coarse.PGV.At(i, j))
+				fi := seismo.Intensity(fine.PGV.At(2*i, 2*j))
+				if diff := ic - fi; diff >= 0.5 || diff <= -0.5 {
+					changed++
+				}
+				n++
+			}
+		}
+		fmt.Printf("resolution comparison: %.0f%% of surface cells change intensity by >= 0.5 at 2x resolution\n",
+			100*float64(changed)/float64(n))
+		if *outDir != "" {
+			icg := output.IntensityGrid(coarse.PGV)
+			if err := output.SavePGM(filepath.Join(*outDir, "intensity-coarse.pgm"), icg, 1, 12); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runScenario(sc scenario.Tangshan) (*core.Result, error) {
+	cfg, err := sc.Config()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHazardEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-nx", "24", "-ny", "24", "-nz", "10", "-dx", "1200",
+		"-steps", "40", "-compare", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"intensity-fine.pgm", "intensity-coarse.pgm"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestHazardRejectsBadGrid(t *testing.T) {
+	if err := run([]string{"-nx", "0"}); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+}

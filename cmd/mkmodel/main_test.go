@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"swquake/internal/model"
+)
+
+func TestMkModelTangshan(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.swvm")
+	if err := run([]string{"-nx", "10", "-ny", "10", "-nz", "6", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.LoadGridModel(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX != 10 || g.NZ != 6 {
+		t.Fatalf("dims %d %d", g.NX, g.NZ)
+	}
+	if g.MinVs() > 600 {
+		t.Fatalf("basin sediment missing: MinVs %g", g.MinVs())
+	}
+}
+
+func TestMkModelCrust(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.swvm")
+	if err := run([]string{"-kind", "crust", "-nx", "4", "-ny", "4", "-nz", "10", "-lz", "40000", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := model.LoadGridModel(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxVp() < 7000 {
+		t.Fatalf("mantle missing: MaxVp %g", g.MaxVp())
+	}
+}
+
+func TestMkModelRejects(t *testing.T) {
+	if err := run([]string{"-kind", "moonrock"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run([]string{"-nx", "1"}); err == nil {
+		t.Fatal("degenerate sampling accepted")
+	}
+	if err := run([]string{"-o", "/no/such/dir/m.swvm"}); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+	_ = os.Remove("model.swvm") // in case a default-path run leaked
+}

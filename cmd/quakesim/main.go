@@ -1,0 +1,305 @@
+// Command quakesim runs an earthquake ground-motion simulation from the
+// command line: the quickstart demo or the scaled Tangshan scenario, with
+// optional nonlinearity, on-the-fly compression, simulated-MPI parallelism
+// and checkpointing. Station seismograms are written as CSV and the PGV /
+// intensity maps as PGM images.
+//
+// Examples:
+//
+//	quakesim -scenario quickstart
+//	quakesim -scenario tangshan -nx 80 -ny 78 -nz 28 -dx 400 -steps 300 -nonlinear
+//	quakesim -scenario tangshan -compress normalized -out /tmp/run
+//	quakesim -scenario quickstart -parallel 2x2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"swquake"
+	"swquake/internal/checkpoint"
+	"swquake/internal/compress"
+	"swquake/internal/core"
+	"swquake/internal/grid"
+	"swquake/internal/model"
+	"swquake/internal/output"
+	"swquake/internal/scenario"
+	"swquake/internal/seismo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quakesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("quakesim", flag.ContinueOnError)
+	var (
+		scen      = fs.String("scenario", "quickstart", "scenario: quickstart or tangshan")
+		nx        = fs.Int("nx", 0, "grid points along x (0 = scenario default)")
+		ny        = fs.Int("ny", 0, "grid points along y")
+		nz        = fs.Int("nz", 0, "grid points along z")
+		dx        = fs.Float64("dx", 0, "grid spacing in meters")
+		steps     = fs.Int("steps", 0, "time steps")
+		nonlinear = fs.Bool("nonlinear", false, "enable Drucker-Prager plasticity")
+		comp      = fs.String("compress", "off", "compression: off, half, adaptive, normalized")
+		parallel  = fs.String("parallel", "", "process grid MXxMY, e.g. 2x2 (simulated MPI)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "write an LZ4 checkpoint every N steps")
+		outDir    = fs.String("out", "", "directory for CSV traces and PGM maps")
+		modelPath = fs.String("model", "", "SWVM velocity-model file (see cmd/mkmodel)")
+		qs        = fs.Float64("qs", 0, "constant Qs attenuation (Qp = 2 Qs); 0 = elastic")
+		qVsScaled = fs.Bool("q-vs", false, "Vs-scaled attenuation (Qs = 0.05 Vs)")
+		snapshots = fs.Int("snapshots", 0, "write a surface-velocity PGM every N steps (serial runs, needs -out)")
+		sunwaySim = fs.Bool("sunway", false, "execute through the simulated SW26010 core group and report its timing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := buildConfig(*scen, *nx, *ny, *nz, *dx, *steps, *nonlinear)
+	if err != nil {
+		return err
+	}
+	if *modelPath != "" {
+		g, err := model.LoadGridModel(*modelPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "using velocity model %s (%s)\n", *modelPath, g)
+		cfg.Model = g
+	}
+	cfg.SunwaySim = *sunwaySim
+	switch {
+	case *qVsScaled:
+		cfg.Attenuation = core.AttenuationConfig{Enabled: true, VsScaled: true, F0: 2}
+	case *qs > 0:
+		cfg.Attenuation = core.AttenuationConfig{Enabled: true, Qp: 2 * *qs, Qs: *qs, F0: 2}
+	}
+
+	if *comp != "off" {
+		method, err := parseMethod(*comp)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "calibrating compression on a coarse run...")
+		stats, err := core.CalibrateCompression(cfg, 2)
+		if err != nil {
+			return err
+		}
+		cfg.Compression = core.CompressionConfig{Method: method, Stats: stats}
+	}
+	if *ckptEvery > 0 {
+		dir := *outDir
+		if dir == "" {
+			dir = "."
+		}
+		cfg.Checkpoint = &checkpoint.Controller{Dir: dir, Interval: *ckptEvery, Keep: 3}
+	}
+
+	start := time.Now()
+	var res *core.Result
+	if *parallel != "" {
+		mx, my, err := parseProcGrid(*parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "running %s on a %dx%d simulated-MPI process grid...\n", *scen, mx, my)
+		res, err = core.RunParallel(cfg, mx, my)
+		if err != nil {
+			return err
+		}
+	} else if *snapshots > 0 {
+		if *outDir == "" {
+			return fmt.Errorf("-snapshots needs -out")
+		}
+		sim, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "running %s with surface snapshots every %d steps...\n", *scen, *snapshots)
+		res, err = runWithSnapshots(sim, cfg, *snapshots, *outDir)
+		if err != nil {
+			return err
+		}
+	} else {
+		sim, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "running %s: %v grid, dx=%.0f m, dt=%.4f s, %d steps...\n",
+			*scen, cfg.Dims, cfg.Dx, sim.Dt(), cfg.Steps)
+		res, err = sim.Run()
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "done in %.2f s (%.1f Mpoint-steps/s)\n", elapsed.Seconds(),
+		float64(cfg.Dims.Points())*float64(cfg.Steps)/elapsed.Seconds()/1e6)
+	if res.Perf.Steps > 0 {
+		fmt.Fprintf(w, "perf: %v\n", res.Perf)
+	}
+	if res.Sunway != nil {
+		fmt.Fprintf(w, "simulated SW26010 core group: %.2f ms/step, %.1f GB/s effective DMA, LDM peak %d B\n",
+			1e3*res.Sunway.StepSeconds()/float64(res.Steps), res.Sunway.EffectiveBandwidth(),
+			res.Sunway.LDMPeakBytes)
+	}
+	report(w, res)
+
+	if *outDir != "" {
+		if err := writeOutputs(*outDir, res); err != nil {
+			return err
+		}
+		if err := swquake.NewRunManifest(cfg, res).Save(filepath.Join(*outDir, "run.json")); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "outputs written to %s\n", *outDir)
+	}
+	return nil
+}
+
+func buildConfig(scen string, nx, ny, nz int, dx float64, steps int, nonlinear bool) (core.Config, error) {
+	switch scen {
+	case "quickstart":
+		cfg := scenario.Quickstart()
+		if nx != 0 || ny != 0 || nz != 0 || dx != 0 {
+			return cfg, fmt.Errorf("quickstart has a fixed grid; use -scenario tangshan for custom sizes")
+		}
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		if nonlinear {
+			return cfg, fmt.Errorf("quickstart is linear; use -scenario tangshan -nonlinear")
+		}
+		return cfg, nil
+	case "tangshan":
+		s := scenario.Tangshan{
+			Dims:      grid.Dims{Nx: 64, Ny: 62, Nz: 24},
+			Dx:        500,
+			Steps:     200,
+			Nonlinear: nonlinear,
+		}
+		if nx > 0 {
+			s.Dims.Nx = nx
+		}
+		if ny > 0 {
+			s.Dims.Ny = ny
+		}
+		if nz > 0 {
+			s.Dims.Nz = nz
+		}
+		if dx > 0 {
+			s.Dx = dx
+		}
+		if steps > 0 {
+			s.Steps = steps
+		}
+		return s.Config()
+	default:
+		return core.Config{}, fmt.Errorf("unknown scenario %q", scen)
+	}
+}
+
+func parseMethod(s string) (compress.Method, error) {
+	switch s {
+	case "half":
+		return compress.Half, nil
+	case "adaptive":
+		return compress.Adaptive, nil
+	case "normalized":
+		return compress.Normalized, nil
+	default:
+		return compress.Off, fmt.Errorf("unknown compression method %q", s)
+	}
+}
+
+func parseProcGrid(s string) (mx, my int, err error) {
+	parts := strings.Split(s, "x")
+	if len(parts) == 2 {
+		if _, err := fmt.Sscanf(s, "%dx%d", &mx, &my); err == nil && mx > 0 && my > 0 {
+			return mx, my, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("invalid process grid %q (want MXxMY)", s)
+}
+
+func report(w io.Writer, res *core.Result) {
+	fmt.Fprintf(w, "%-12s %14s %10s\n", "station", "PGV (m/s)", "intensity")
+	for _, tr := range res.Recorder.Traces {
+		pgv := tr.PeakVelocity()
+		fmt.Fprintf(w, "%-12s %14.5g %10.1f\n", tr.Station.Name, pgv, seismo.Intensity(pgv))
+	}
+	if res.PGV != nil {
+		fmt.Fprintf(w, "surface PGV max %.4g m/s (intensity %.1f)\n",
+			res.PGV.Max(), seismo.Intensity(res.PGV.Max()))
+	}
+	if res.YieldedPointSteps > 0 {
+		fmt.Fprintf(w, "plasticity engaged at %d point-steps\n", res.YieldedPointSteps)
+	}
+	for _, ck := range res.Checkpoints {
+		fmt.Fprintf(w, "checkpoint %s (%.1fx LZ4)\n", ck.Path, ck.CompressionRatio)
+	}
+}
+
+func writeOutputs(dir string, res *core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tr := range res.Recorder.Traces {
+		path := filepath.Join(dir, fmt.Sprintf("trace-%s.csv", tr.Station.Name))
+		if err := output.SaveTraceCSV(path, tr); err != nil {
+			return err
+		}
+		spath := filepath.Join(dir, fmt.Sprintf("spectrum-%s.csv", tr.Station.Name))
+		if err := output.SaveSpectrumCSV(spath, tr.HorizontalSpectrum()); err != nil {
+			return err
+		}
+	}
+	if res.PGV != nil {
+		pg := output.PGVGrid(res.PGV)
+		if err := output.SavePGM(filepath.Join(dir, "pgv.pgm"), pg, 0, res.PGV.Max()); err != nil {
+			return err
+		}
+		ig := output.IntensityGrid(res.PGV)
+		if err := output.SavePGM(filepath.Join(dir, "intensity.pgm"), ig, 1, 12); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWithSnapshots steps the simulator manually, writing the surface
+// horizontal-velocity field as a PGM image every interval steps (the
+// wavefield snapshots of paper Fig. 11c-d).
+func runWithSnapshots(sim *core.Simulator, cfg core.Config, interval int, dir string) (*core.Result, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for n := 0; n < cfg.Steps; n++ {
+		sim.Step()
+		if (n+1)%interval == 0 {
+			snap := seismo.Snapshot(sim.WF, 0)
+			var vmax float64
+			for _, row := range snap {
+				for _, v := range row {
+					if v > vmax {
+						vmax = v
+					}
+				}
+			}
+			path := filepath.Join(dir, fmt.Sprintf("snap-%05d.pgm", n+1))
+			if err := output.SavePGM(path, snap, 0, vmax); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &core.Result{Recorder: sim.Recorder(), PGV: sim.PGV(), Dt: sim.Dt(), Steps: cfg.Steps, Sim: sim}, nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swquake/internal/compress"
+	"swquake/internal/model"
+)
+
+func TestParseProcGrid(t *testing.T) {
+	mx, my, err := parseProcGrid("2x3")
+	if err != nil || mx != 2 || my != 3 {
+		t.Fatalf("2x3 -> %d,%d,%v", mx, my, err)
+	}
+	for _, bad := range []string{"", "2", "2x", "x3", "2x3x4", "ax2", "0x3", "-1x2"} {
+		if _, _, err := parseProcGrid(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]compress.Method{
+		"half":       compress.Half,
+		"adaptive":   compress.Adaptive,
+		"normalized": compress.Normalized,
+	}
+	for s, want := range cases {
+		got, err := parseMethod(s)
+		if err != nil || got != want {
+			t.Errorf("%q -> %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseMethod("zstd"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("quickstart", 0, 0, 0, 0, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Steps != 50 {
+		t.Fatalf("steps %d", cfg.Steps)
+	}
+	if _, err := buildConfig("quickstart", 10, 0, 0, 0, 0, false); err == nil {
+		t.Fatal("custom grid on quickstart accepted")
+	}
+	if _, err := buildConfig("quickstart", 0, 0, 0, 0, 0, true); err == nil {
+		t.Fatal("nonlinear quickstart accepted")
+	}
+	cfg, err = buildConfig("tangshan", 48, 46, 20, 600, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dims.Nx != 48 || cfg.Dx != 600 || !cfg.Nonlinear {
+		t.Fatalf("tangshan config wrong: %+v", cfg.Dims)
+	}
+	if _, err := buildConfig("loma-prieta", 0, 0, 0, 0, 0, false); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunQuickstartEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-scenario", "quickstart", "-steps", "30", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "station-0") {
+		t.Fatal("station report missing")
+	}
+	for _, f := range []string{"trace-station-0.csv", "spectrum-station-0.csv", "pgv.pgm", "intensity.pgm", "run.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("output %s missing: %v", f, err)
+		}
+	}
+}
+
+func TestRunTangshanWithModelFile(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "m.swvm")
+	g := model.NewGridModel(model.ScaledTangshan(20000, 20000, 4000), 10, 10, 8, 2200, 2200, 570)
+	if err := model.SaveGridModel(mpath, g); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-scenario", "tangshan", "-nx", "24", "-ny", "24", "-nz", "10",
+		"-dx", "900", "-steps", "20", "-model", mpath, "-qs", "50"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "using velocity model") {
+		t.Fatal("model load not reported")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &buf); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+	if err := run([]string{"-compress", "gzip"}, &buf); err == nil {
+		t.Fatal("bad compression accepted")
+	}
+	if err := run([]string{"-parallel", "zz"}, &buf); err == nil {
+		t.Fatal("bad parallel accepted")
+	}
+	if err := run([]string{"-model", "/does/not/exist"}, &buf); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}

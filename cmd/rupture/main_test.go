@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRuptureEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "srcs.csv")
+	if err := run([]string{"-nx", "40", "-ny", "16", "-nz", "20", "-dx", "50",
+		"-steps", "120", "-sources", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "# dt=") {
+		t.Fatal("sources header missing")
+	}
+	if strings.Count(s, "\n") < 10 {
+		t.Fatal("too few sources written")
+	}
+}
+
+func TestRuptureRejectsBadGrid(t *testing.T) {
+	if err := run([]string{"-nx", "4", "-ny", "2", "-nz", "4"}); err == nil {
+		t.Fatal("degenerate grid accepted")
+	}
+}

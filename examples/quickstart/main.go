@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete use of the swquake public API — run an
+// explosion source in a homogeneous half-space, print the station
+// seismogram summary and the peak ground velocity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swquake"
+)
+
+func main() {
+	cfg := swquake.QuickstartConfig()
+
+	sim, err := swquake.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid %v, dx = %.0f m, dt = %.4f s, %d steps\n",
+		cfg.Dims, cfg.Dx, sim.Dt(), cfg.Steps)
+
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr := res.Recorder.Trace("station-0")
+	fmt.Printf("station-0: %d samples, peak horizontal velocity %.3g m/s\n",
+		len(tr.U), tr.PeakVelocity())
+	fmt.Printf("surface peak ground velocity: %.3g m/s\n", res.PGV.Max())
+
+	// print a tiny sparkline of the vertical component
+	fmt.Print("w(t): ")
+	shades := " .:-=+*#%@"
+	var wmax float32
+	for _, v := range tr.W {
+		if v < 0 {
+			v = -v
+		}
+		if v > wmax {
+			wmax = v
+		}
+	}
+	for i := 0; i < len(tr.W); i += 2 {
+		v := tr.W[i]
+		if v < 0 {
+			v = -v
+		}
+		idx := 0
+		if wmax > 0 {
+			idx = int(v / wmax * float32(len(shades)-1))
+		}
+		fmt.Printf("%c", shades[idx])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,62 @@
+// Scaling: project the solver onto the full Sunway TaihuLight with the
+// calibrated performance model — the weak scaling of paper Fig. 8 (8,000 to
+// 160,000 MPI processes, with and without nonlinearity and compression) and
+// a demonstration that the simulated-MPI runner reproduces the serial
+// solver exactly while distributing the work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"swquake"
+	"swquake/internal/experiments"
+)
+
+func main() {
+	// 1. real distributed execution on this machine (simulated MPI)
+	cfg := swquake.QuickstartConfig()
+	cfg.Steps = 60
+
+	start := time.Now()
+	sim, err := swquake.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	serial, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	serialT := time.Since(start)
+
+	start = time.Now()
+	par, err := swquake.RunParallel(cfg, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parT := time.Since(start)
+
+	a := serial.Recorder.Trace("station-0")
+	b := par.Recorder.Trace("station-0")
+	identical := true
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			identical = false
+			break
+		}
+	}
+	fmt.Printf("serial %.0f ms vs 2x2 simulated-MPI %.0f ms; traces identical: %v\n",
+		serialT.Seconds()*1000, parT.Seconds()*1000, identical)
+
+	// 2. full-machine projection (paper Fig. 8)
+	fmt.Println("\nprojected weak scaling on TaihuLight (paper Fig. 8):")
+	experiments.Fig8(logWriter{})
+}
+
+type logWriter struct{}
+
+func (logWriter) Write(p []byte) (int, error) {
+	fmt.Print(string(p))
+	return len(p), nil
+}

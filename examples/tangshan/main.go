@@ -1,0 +1,71 @@
+// Tangshan: the paper's complete earthquake-simulation cycle at laptop
+// scale — dynamic rupture source generation on a non-planar fault
+// (CG-FDM-style), conversion of the slip history to moment-rate point
+// sources, nonlinear strong-ground-motion simulation over the scaled
+// Tangshan basin model, and the resulting seismic hazard summary (§8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swquake"
+)
+
+func main() {
+	// --- stage 1: dynamic rupture on the non-planar fault ---
+	rupDims := swquake.Dims{Nx: 64, Ny: 28, Nz: 28}
+	rupDx := 100.0
+	crust := swquake.Material{Vp: 5000, Vs: 2887, Rho: 2700}
+	med := swquake.NewMediumFromModel(rupDims, rupDx, uniform{crust}, 0, 0)
+
+	rcfg := swquake.TangshanRuptureConfig(rupDims, rupDx)
+	dt := 0.8 * 0.49 * rupDx / crust.Vp
+	fmt.Println("stage 1: dynamic rupture source generation")
+	rres, err := swquake.SimulateRupture(rcfg, med, rupDx, dt, 260)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ruptured %.0f%% of the fault, max slip %.2f m, M0 %.3g N*m\n",
+		100*rres.RupturedFraction(), rres.MaxFinalSlip(), rres.SeismicMoment(med))
+
+	fmt.Printf("  %d moment-rate point sources emitted\n", len(rres.Sources(med, 2)))
+
+	// --- stage 2: nonlinear ground motion over the basin model ---
+	fmt.Println("stage 2: nonlinear strong ground motion")
+	sc := swquake.TangshanScenario{
+		Dims: swquake.Dims{Nx: 64, Ny: 62, Nz: 24}, Dx: 500, Steps: 240, Nonlinear: true,
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// swap in the dynamic sources, remapped onto the ground-motion grid
+	cfg.Sources = rres.SourcesOnGrid(med, 2, cfg.Dims, cfg.Dx)
+
+	sim, err := swquake.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- stage 3: hazard summary ---
+	fmt.Println("stage 3: hazard summary")
+	fmt.Printf("  %-10s %12s %10s\n", "station", "PGV (m/s)", "intensity")
+	for _, name := range []string{"Ninghe", "Cangzhou", "Beijing"} {
+		pgv := res.Recorder.Trace(name).PeakVelocity()
+		fmt.Printf("  %-10s %12.4g %10.1f\n", name, pgv, swquake.IntensityFromPGV(pgv))
+	}
+	fmt.Printf("  surface max PGV %.4g m/s (intensity %.1f)\n",
+		res.PGV.Max(), swquake.IntensityFromPGV(res.PGV.Max()))
+	if res.YieldedPointSteps > 0 {
+		fmt.Printf("  nonlinear response engaged at %d point-steps\n", res.YieldedPointSteps)
+	}
+}
+
+type uniform struct{ m swquake.Material }
+
+func (u uniform) Sample(_, _, _ float64) swquake.Material { return u.m }

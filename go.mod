@@ -1,0 +1,3 @@
+module swquake
+
+go 1.22

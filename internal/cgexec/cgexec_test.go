@@ -1,0 +1,206 @@
+package cgexec
+
+import (
+	"math/rand"
+	"testing"
+
+	"swquake/internal/fd"
+	"swquake/internal/grid"
+	"swquake/internal/model"
+	"swquake/internal/sunway"
+)
+
+func randomState(d grid.Dims, seed int64) (*fd.Wavefield, *fd.Medium) {
+	wf := fd.NewWavefield(d)
+	rng := rand.New(rand.NewSource(seed))
+	for _, f := range wf.AllFields() {
+		for i := range f.Data {
+			f.Data[i] = rng.Float32()*2 - 1
+		}
+	}
+	med := fd.NewMedium(d)
+	mat := model.Material{Vp: 5000, Vs: 2887, Rho: 2700}
+	lam, mu := mat.Lame()
+	med.Rho.Fill(float32(mat.Rho))
+	med.Lam.Fill(float32(lam))
+	med.Mu.Fill(float32(mu))
+	return wf, med
+}
+
+func TestTiledVelocityMatchesPlainKernel(t *testing.T) {
+	d := grid.Dims{Nx: 10, Ny: 24, Nz: 40}
+	tiled, med := randomState(d, 1)
+	plain := tiled.Clone()
+
+	ex, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.VelocityStep(tiled, med, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	fd.UpdateVelocity(plain, med, 0.001, 0, d.Nz)
+
+	for i, f := range plain.AllFields() {
+		if !f.InteriorEqual(tiled.AllFields()[i], 0) {
+			t.Fatalf("tiled execution diverges from plain kernel in field %d", i)
+		}
+	}
+}
+
+func TestTiledStressMatchesPlainKernel(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 17, Nz: 33} // awkward sizes force remainder tiles
+	tiled, med := randomState(d, 2)
+	plain := tiled.Clone()
+
+	ex, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.StressStep(tiled, med, 0.002); err != nil {
+		t.Fatal(err)
+	}
+	fd.UpdateStress(plain, med, 0.002, 0, d.Nz)
+
+	for i, f := range plain.AllFields() {
+		if !f.InteriorEqual(tiled.AllFields()[i], 0) {
+			t.Fatalf("tiled stress diverges in field %d", i)
+		}
+	}
+}
+
+func TestFullTiledStepSequence(t *testing.T) {
+	// several alternating velocity/stress steps stay identical to the
+	// plain solver (halo interactions between tiles accumulate over steps)
+	d := grid.Dims{Nx: 8, Ny: 20, Nz: 24}
+	tiled, med := randomState(d, 3)
+	plain := tiled.Clone()
+
+	ex, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if err := ex.VelocityStep(tiled, med, 0.0005); err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.StressStep(tiled, med, 0.0005); err != nil {
+			t.Fatal(err)
+		}
+		fd.UpdateVelocity(plain, med, 0.0005, 0, d.Nz)
+		fd.UpdateStress(plain, med, 0.0005, 0, d.Nz)
+	}
+	for i, f := range plain.AllFields() {
+		if !f.InteriorEqual(tiled.AllFields()[i], 0) {
+			t.Fatalf("multi-step tiled run diverges in field %d", i)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 20, Nz: 24}
+	wf, med := randomState(d, 4)
+	ex, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.VelocityStep(wf, med, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	s := ex.Stats
+	if s.Tiles == 0 || s.DMATransfers == 0 {
+		t.Fatal("no tiles accounted")
+	}
+	// reads must exceed the interior lower bound: 10 arrays over the block
+	lower := int64(d.Points()) * 10 * 4
+	if s.DMAGetBytes < lower {
+		t.Fatalf("get bytes %d below interior volume %d", s.DMAGetBytes, lower)
+	}
+	// halo overhead is bounded (tiles plus stencil halos, < 4x)
+	if s.DMAGetBytes > 4*lower {
+		t.Fatalf("get bytes %d implausibly high vs %d", s.DMAGetBytes, lower)
+	}
+	// writes are exactly the interior velocity volume
+	wantPut := int64(d.Points()) * 3 * 4
+	if s.DMAPutBytes != wantPut {
+		t.Fatalf("put bytes %d want %d", s.DMAPutBytes, wantPut)
+	}
+	if s.Flops != int64(d.Points())*fd.VelocityFlopsPerPoint {
+		t.Fatalf("flops %d", s.Flops)
+	}
+	if s.LDMPeakBytes <= 0 || s.LDMPeakBytes > sunway.LDMBytes {
+		t.Fatalf("LDM peak %d outside (0, 64K]", s.LDMPeakBytes)
+	}
+	if s.StepSeconds() <= 0 {
+		t.Fatal("no simulated time")
+	}
+	// simulated effective bandwidth must sit in the DMA model's range
+	bw := s.EffectiveBandwidth()
+	if bw <= 0 || bw > sunway.CGMemBWGBs {
+		t.Fatalf("simulated bandwidth %g GB/s outside (0, 34]", bw)
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	if _, err := New(grid.Dims{}); err == nil {
+		t.Fatal("invalid block accepted")
+	}
+	d := grid.Dims{Nx: 8, Ny: 20, Nz: 24}
+	ex, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := fd.NewWavefield(grid.Dims{Nx: 4, Ny: 4, Nz: 4})
+	otherMed := fd.NewMedium(other.D)
+	if err := ex.VelocityStep(other, otherMed, 0.001); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+}
+
+func TestTilesPartitionBlock(t *testing.T) {
+	d := grid.Dims{Nx: 4, Ny: 23, Nz: 37}
+	ex, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, d.Ny*d.Nz)
+	for _, tl := range ex.tiles() {
+		for j := tl.j0; j < tl.j1; j++ {
+			for k := tl.k0; k < tl.k1; k++ {
+				idx := j*d.Nz + k
+				if covered[idx] {
+					t.Fatalf("overlap at (%d,%d)", j, k)
+				}
+				covered[idx] = true
+			}
+		}
+	}
+	for idx, c := range covered {
+		if !c {
+			t.Fatalf("gap at %d", idx)
+		}
+	}
+}
+
+func TestRegisterCommAccounting(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 20, Nz: 24}
+	wf, med := randomState(d, 5)
+	ex, err := New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.VelocityStep(wf, med, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	s := ex.Stats
+	if s.RegCommWords == 0 {
+		t.Fatal("no register communication accounted")
+	}
+	// the paper's rationale for on-chip halos: fetching them over the
+	// register buses is far cheaper than the equivalent DMA traffic.
+	regSeconds := sunway.RegCommBulkSeconds(s.RegCommWords)
+	dmaSeconds := sunway.DMATransferSeconds(s.DMAGetBytes, 512, sunway.DMAGet)
+	if regSeconds > dmaSeconds/3 {
+		t.Fatalf("register halo cost %g s not well below DMA cost %g s", regSeconds, dmaSeconds)
+	}
+}

@@ -1,0 +1,80 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+
+	"swquake/internal/fd"
+)
+
+// AsyncController overlaps checkpoint writes with the ongoing computation,
+// the way the paper's forwarding pipeline keeps the solver running while
+// dumps drain to the file system: MaybeSave snapshots the wavefield
+// in-memory (cheap relative to LZ4+disk) and hands the write to a single
+// background worker; Close waits for pending writes and reports the first
+// error.
+type AsyncController struct {
+	Controller
+
+	mu      sync.Mutex
+	writeMu sync.Mutex // serializes the actual file writes (one I/O lane)
+	wg      sync.WaitGroup
+	pending int
+	err     error
+	infos   []Info
+}
+
+// MaybeSave snapshots and enqueues a checkpoint when due. The returned
+// bool says whether a write was enqueued; Info for async writes is
+// available from Close.
+func (c *AsyncController) MaybeSave(step int, simTime float64, wf *fd.Wavefield) (bool, error) {
+	if c.Interval <= 0 || step == 0 || step%c.Interval != 0 {
+		return false, nil
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return false, err
+	}
+	c.pending++
+	c.mu.Unlock()
+
+	snap := wf.Clone()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.writeMu.Lock()
+		info, saved, err := c.Controller.MaybeSave(step, simTime, snap)
+		c.writeMu.Unlock()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.pending--
+		if err != nil && c.err == nil {
+			c.err = err
+		}
+		if saved {
+			c.infos = append(c.infos, info)
+		}
+	}()
+	return true, nil
+}
+
+// Pending returns the number of in-flight writes.
+func (c *AsyncController) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending
+}
+
+// Close drains pending writes and returns the accumulated infos and the
+// first error, if any.
+func (c *AsyncController) Close() ([]Info, error) {
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending != 0 {
+		return c.infos, fmt.Errorf("checkpoint: %d writes still pending after drain", c.pending)
+	}
+	return c.infos, c.err
+}

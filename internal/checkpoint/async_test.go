@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAsyncControllerWritesAndDrains(t *testing.T) {
+	wf := testWavefield(10)
+	dir := t.TempDir()
+	c := &AsyncController{Controller: Controller{Dir: dir, Interval: 5, Keep: 10}}
+
+	enqueued := 0
+	for step := 0; step <= 30; step++ {
+		// mutate the field between checkpoints so snapshots differ
+		wf.U.Set(0, 0, 0, float32(step))
+		ok, err := c.MaybeSave(step, float64(step), wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			enqueued++
+		}
+	}
+	infos, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enqueued != 6 || len(infos) != 6 {
+		t.Fatalf("enqueued %d, completed %d", enqueued, len(infos))
+	}
+	if c.Pending() != 0 {
+		t.Fatal("pending after Close")
+	}
+	// the latest checkpoint restores the state at its step (snapshot
+	// isolation: later mutations must not leak into earlier dumps)
+	step, _, got, err := Load(c.Latest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 30 {
+		t.Fatalf("latest step %d", step)
+	}
+	if got.U.At(0, 0, 0) != 30 {
+		t.Fatalf("snapshot value %g, want 30", got.U.At(0, 0, 0))
+	}
+	// an earlier checkpoint holds its own step's value
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 6 {
+		t.Fatalf("%d files", len(entries))
+	}
+}
+
+func TestAsyncSnapshotIsolation(t *testing.T) {
+	wf := testWavefield(11)
+	dir := t.TempDir()
+	c := &AsyncController{Controller: Controller{Dir: dir, Interval: 1, Keep: 50}}
+
+	wf.U.Set(1, 1, 1, 111)
+	if _, err := c.MaybeSave(1, 1, wf); err != nil {
+		t.Fatal(err)
+	}
+	wf.U.Set(1, 1, 1, 999) // mutate immediately after enqueue
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, got, err := Load(c.Latest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.U.At(1, 1, 1) != 111 {
+		t.Fatalf("async write saw later mutation: %g", got.U.At(1, 1, 1))
+	}
+}
+
+func TestAsyncErrorSurfaces(t *testing.T) {
+	wf := testWavefield(12)
+	c := &AsyncController{Controller: Controller{Dir: "/nonexistent/dir", Interval: 1}}
+	if _, err := c.MaybeSave(1, 1, wf); err != nil {
+		t.Fatal("enqueue itself should not fail")
+	}
+	if _, err := c.Close(); err == nil {
+		t.Fatal("write error not surfaced")
+	}
+	// subsequent saves refuse after a hard error
+	if _, err := c.MaybeSave(2, 2, wf); err == nil {
+		t.Fatal("controller kept accepting after failure")
+	}
+}
+
+func TestAsyncRespectsInterval(t *testing.T) {
+	wf := testWavefield(13)
+	c := &AsyncController{Controller: Controller{Dir: t.TempDir(), Interval: 10}}
+	if ok, _ := c.MaybeSave(3, 0, wf); ok {
+		t.Fatal("off-interval step enqueued")
+	}
+	if ok, _ := c.MaybeSave(0, 0, wf); ok {
+		t.Fatal("step 0 enqueued")
+	}
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

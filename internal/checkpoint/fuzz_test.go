@@ -1,0 +1,42 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the checkpoint loader: it must reject
+// them cleanly (or accept a valid file), never panic.
+func FuzzLoad(f *testing.F) {
+	// seed with a real checkpoint and mutations of it
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.swq")
+	if _, err := Save(path, 3, 1.5, testWavefield(99)); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("SWKQ garbage"))
+	trunc := append([]byte{}, valid...)
+	trunc[40] ^= 0xff
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "f.swq")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		step, tm, wf, err := Load(p)
+		if err == nil {
+			if wf == nil || step < 0 || tm != tm /* NaN check */ {
+				t.Fatalf("accepted invalid state: step=%d tm=%g wf=%v", step, tm, wf != nil)
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"swquake/internal/compress"
+	"swquake/internal/fd"
+	"swquake/internal/plasticity"
+)
+
+// compressedState keeps the nine dynamic fields as 16-bit codes in "main
+// memory"; the float32 wavefield acts as the decompressed working buffer
+// (the LDM stand-in). Each pass decodes what it reads, computes in float32
+// and re-encodes what it wrote, slab by slab (Fig. 5b-c), so the stored
+// state only ever exists in compressed form between kernels — including
+// the velocity→stress handoff inside one step, which is where the paper's
+// accuracy loss (Fig. 6) comes from.
+type compressedState struct {
+	fields []*compress.Field // same order as fd.Wavefield.AllFields
+	slab   int
+}
+
+func newCompressedState(wf *fd.Wavefield, cfg CompressionConfig) (*compressedState, error) {
+	cs := &compressedState{slab: cfg.SlabHeight}
+	for i, f := range wf.AllFields() {
+		name := FieldNames[i]
+		stats, ok := cfg.Stats[name]
+		if !ok && cfg.Method != compress.Half {
+			return nil, fmt.Errorf("core: missing compression stats for field %q", name)
+		}
+		if ok && cfg.Expand > 1 {
+			stats = stats.Expand(cfg.Expand)
+		}
+		codec, err := compress.NewCodec(cfg.Method, stats)
+		if err != nil {
+			return nil, err
+		}
+		cf := compress.NewField(f, codec)
+		cf.EncodeFrom(f)
+		cs.fields = append(cs.fields, cf)
+	}
+	return cs, nil
+}
+
+// encodeAll re-encodes every field from the wavefield (used by Restore).
+func (cs *compressedState) encodeAll(wf *fd.Wavefield) {
+	for i, f := range wf.AllFields() {
+		cs.fields[i].EncodeFrom(f)
+	}
+}
+
+// velocity / stress return the compressed views in wavefield order:
+// indices 0-2 are u,v,w; 3-8 the stresses.
+func (cs *compressedState) velocity() []*compress.Field { return cs.fields[:3] }
+func (cs *compressedState) stress() []*compress.Field   { return cs.fields[3:] }
+
+// The compressed time step is split into phases so the parallel runner can
+// interleave halo exchanges between them; the serial step runs them
+// back-to-back.
+
+// compDecodeAll decodes every field (all z planes including halos) into
+// the float32 working buffers, slab by slab.
+func (s *Simulator) compDecodeAll() {
+	wf := s.WF
+	cs := s.comp
+	h := fd.Halo
+	nz := s.Cfg.Dims.Nz
+	all := wf.AllFields()
+	for k0 := -h; k0 < nz+h; k0 += cs.slab {
+		for i, cf := range cs.fields {
+			cf.DecodeSlab(all[i], k0, k0+cs.slab)
+		}
+	}
+}
+
+// compVelocityPass advances the velocities slab by slab and round-trips
+// them through compressed storage (the dstrqc kernel must read the
+// velocities exactly as stored).
+func (s *Simulator) compVelocityPass(dtdx float32) {
+	wf := s.WF
+	cs := s.comp
+	h := fd.Halo
+	nz := s.Cfg.Dims.Nz
+	velF := wf.VelocityFields()
+
+	fd.ApplyFreeSurface(wf)
+	for k0 := 0; k0 < nz; k0 += cs.slab {
+		fd.UpdateVelocity(wf, s.Med, dtdx, k0, minI(k0+cs.slab, nz))
+	}
+	for k0 := -h; k0 < nz+h; k0 += cs.slab {
+		for i, cf := range cs.velocity() {
+			cf.EncodeSlab(velF[i], k0, k0+cs.slab)
+		}
+	}
+	for k0 := -h; k0 < nz+h; k0 += cs.slab {
+		for i, cf := range cs.velocity() {
+			cf.DecodeSlab(velF[i], k0, k0+cs.slab)
+		}
+	}
+}
+
+// compStressPass advances the stresses (with source injection, plasticity,
+// attenuation and sponge) slab by slab on the decoded buffers.
+func (s *Simulator) compStressPass(dtdx float32) {
+	wf := s.WF
+	cs := s.comp
+	nz := s.Cfg.Dims.Nz
+
+	fd.ApplyFreeSurface(wf)
+	if s.sls != nil {
+		s.sls.Before(wf)
+	}
+	for k0 := 0; k0 < nz; k0 += cs.slab {
+		k1 := minI(k0+cs.slab, nz)
+		fd.UpdateStress(wf, s.Med, dtdx, k0, k1)
+		if s.sls != nil {
+			s.sls.After(wf, s.Cfg.Dt, k0, k1)
+		}
+		s.srcs.Inject(wf, s.simTime, s.Cfg.Dt, s.Cfg.Dx, k0, k1)
+		if s.Plas != nil {
+			s.yielded += int64(plasticity.Apply(wf, s.Plas, s.Cfg.Dt, k0, k1))
+		}
+		if s.atten != nil {
+			s.atten.Apply(wf, k0, k1)
+		}
+		if s.sponge != nil {
+			s.sponge.Apply(wf, k0, k1)
+		}
+	}
+}
+
+// compStoreAll encodes every field to compressed storage and decodes back,
+// so recorders and checkpoints observe exactly the stored state.
+func (s *Simulator) compStoreAll() {
+	wf := s.WF
+	cs := s.comp
+	h := fd.Halo
+	nz := s.Cfg.Dims.Nz
+	all := wf.AllFields()
+	for k0 := -h; k0 < nz+h; k0 += cs.slab {
+		for i, cf := range cs.fields {
+			cf.EncodeSlab(all[i], k0, k0+cs.slab)
+		}
+	}
+	for k0 := -h; k0 < nz+h; k0 += cs.slab {
+		for i, cf := range cs.fields {
+			cf.DecodeSlab(all[i], k0, k0+cs.slab)
+		}
+	}
+}
+
+// compEncodeStressGhosts re-encodes the stress fields so exchanged ghost
+// planes are reflected in compressed storage for the next step's decode.
+func (s *Simulator) compEncodeStressGhosts() {
+	wf := s.WF
+	cs := s.comp
+	h := fd.Halo
+	nz := s.Cfg.Dims.Nz
+	strF := wf.StressFields()
+	for k0 := -h; k0 < nz+h; k0 += cs.slab {
+		for i, cf := range cs.stress() {
+			cf.EncodeSlab(strF[i], k0, k0+cs.slab)
+		}
+	}
+}
+
+// stepCompressed advances one time step with compressed main storage.
+func (s *Simulator) stepCompressed() {
+	s.countKernels()
+	dtdx := float32(s.Cfg.Dt / s.Cfg.Dx)
+	s.compDecodeAll()
+	s.compVelocityPass(dtdx)
+	s.compStressPass(dtdx)
+	s.compStoreAll()
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

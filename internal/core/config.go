@@ -1,0 +1,186 @@
+// Package core is the solver that ties every substrate together: the
+// unified software framework of paper Fig. 3. A Simulator advances the
+// staggered-grid velocity–stress system with optional Drucker–Prager
+// plasticity (nonlinear mode), Cerjan absorbing boundaries and a free
+// surface, injects moment-tensor or rupture-derived sources, records
+// seismograms/PGV, writes LZ4 checkpoints, and optionally keeps all nine
+// wavefields in 16-bit compressed storage with the decompress–compute–
+// compress workflow of §6.5. RunParallel executes the same physics over
+// the simulated-MPI 2D process decomposition of §6.3.
+package core
+
+import (
+	"fmt"
+
+	"swquake/internal/checkpoint"
+	"swquake/internal/compress"
+	"swquake/internal/grid"
+	"swquake/internal/model"
+	"swquake/internal/seismo"
+	"swquake/internal/source"
+)
+
+// PlasticityConfig sets the nonlinear material response.
+type PlasticityConfig struct {
+	// Cohesion in Pa (rock ~5e6, shallow sediment ~1e4-1e5).
+	Cohesion float64
+	// FrictionAngle in radians.
+	FrictionAngle float64
+	// FluidPressure in Pa.
+	FluidPressure float64
+	// Lithostatic enables the depth-dependent initial mean stress.
+	Lithostatic bool
+	// LithoDensity is the overburden density for the lithostatic profile.
+	LithoDensity float64
+	// Tv is the viscoplastic relaxation time (0 = instantaneous return).
+	Tv float64
+}
+
+// CompressionConfig turns on the on-the-fly 16-bit storage.
+type CompressionConfig struct {
+	Method compress.Method
+	// Stats holds per-field codec statistics from a coarse calibration run
+	// (CalibrateCompression). Required for Adaptive and Normalized.
+	Stats map[string]compress.Stats
+	// Expand widens calibrated ranges for headroom (default 1.5).
+	Expand float64
+	// SlabHeight is the z-slab processed per decompress-compute-compress
+	// pass (default 16).
+	SlabHeight int
+}
+
+// AttenuationConfig enables anelastic attenuation (the qp/qs physics of
+// AWP-ODC). Either constant quality factors or the Vs-scaled empirical
+// rule; F0 is the reference frequency of the constant-Q operator.
+type AttenuationConfig struct {
+	Enabled bool
+	// UseSLS selects the standard-linear-solid memory-variable formulation
+	// (6 memory arrays + snapshot, frequency-dependent Q) instead of the
+	// cheap exponential operator.
+	UseSLS bool
+	F0     float64 // reference frequency, Hz (default: 1)
+	// Constant factors (used when VsScaled is false). Zero means elastic.
+	Qp, Qs float64
+	// VsScaled derives Qs = Factor * Vs(m/s), Qp = 2 Qs from the medium.
+	VsScaled bool
+	Factor   float64
+}
+
+// Config describes one simulation.
+type Config struct {
+	Dims  grid.Dims
+	Dx    float64 // grid spacing, m
+	Dt    float64 // time step, s; 0 derives it from the CFL limit
+	Steps int
+
+	Model model.Model
+	// OriginX/OriginY place the block in model coordinates (meters).
+	OriginX, OriginY float64
+
+	Nonlinear  bool
+	Plasticity PlasticityConfig
+
+	Attenuation AttenuationConfig
+
+	Compression CompressionConfig
+
+	Sources  []source.PointSource
+	Stations []seismo.Station
+	// SampleEvery thins seismogram sampling (default 1).
+	SampleEvery int
+
+	// SpongeWidth in grid points (0 disables absorbing boundaries).
+	SpongeWidth int
+	SpongeAlpha float64
+
+	RecordPGV bool
+
+	// SunwaySim executes the velocity/stress kernels tile-by-tile through
+	// the simulated SW26010 core group (package cgexec): results are
+	// bit-identical, and Result.Sunway reports the simulated on-machine
+	// time, DMA traffic and bandwidth. Serial, uncompressed runs only.
+	SunwaySim bool
+
+	// Checkpoint, when non-nil, saves restart dumps during Run.
+	Checkpoint *checkpoint.Controller
+}
+
+// Validate checks the configuration and fills defaults in place.
+func (c *Config) Validate() error {
+	if !c.Dims.Valid() {
+		return fmt.Errorf("core: invalid dims %v", c.Dims)
+	}
+	if c.Dx <= 0 {
+		return fmt.Errorf("core: non-positive dx")
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("core: non-positive step count")
+	}
+	if c.Model == nil {
+		return fmt.Errorf("core: no velocity model")
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1
+	}
+	if c.SpongeWidth < 0 || 2*c.SpongeWidth >= min2(c.Dims.Nx, c.Dims.Ny) {
+		return fmt.Errorf("core: sponge width %d does not fit %v", c.SpongeWidth, c.Dims)
+	}
+	if c.SpongeWidth > 0 && c.SpongeAlpha <= 0 {
+		c.SpongeAlpha = 0.08
+	}
+	if c.Nonlinear {
+		p := &c.Plasticity
+		if p.Cohesion <= 0 {
+			return fmt.Errorf("core: nonlinear run needs positive cohesion")
+		}
+		if p.FrictionAngle <= 0 {
+			return fmt.Errorf("core: nonlinear run needs a friction angle")
+		}
+		if p.Lithostatic && p.LithoDensity <= 0 {
+			p.LithoDensity = 2500
+		}
+	}
+	if c.Attenuation.Enabled {
+		a := &c.Attenuation
+		if a.F0 <= 0 {
+			a.F0 = 1
+		}
+		if !a.VsScaled && a.Qp < 0 || a.Qs < 0 {
+			return fmt.Errorf("core: negative quality factor")
+		}
+		if a.VsScaled && a.Factor < 0 {
+			return fmt.Errorf("core: negative Q scale factor")
+		}
+	}
+	if c.SunwaySim && c.Compression.Method != compress.Off {
+		return fmt.Errorf("core: SunwaySim does not support compressed storage")
+	}
+	if c.Compression.Method != compress.Off {
+		if c.Compression.Method != compress.Half && c.Compression.Stats == nil {
+			return fmt.Errorf("core: %v compression needs calibration stats", c.Compression.Method)
+		}
+		if c.Compression.Expand <= 0 {
+			c.Compression.Expand = 1.5
+		}
+		if c.Compression.SlabHeight <= 0 {
+			c.Compression.SlabHeight = 16
+		}
+	}
+	for _, s := range c.Stations {
+		if s.I < 0 || s.I >= c.Dims.Nx || s.J < 0 || s.J >= c.Dims.Ny || s.K < 0 || s.K >= c.Dims.Nz {
+			return fmt.Errorf("core: station %q outside grid", s.Name)
+		}
+	}
+	return nil
+}
+
+// FieldNames names the nine dynamic fields, in fd.Wavefield.AllFields
+// order; compression statistics are keyed by these.
+var FieldNames = []string{"u", "v", "w", "xx", "yy", "zz", "xy", "xz", "yz"}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

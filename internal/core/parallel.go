@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"swquake/internal/decomp"
+	"swquake/internal/fd"
+	"swquake/internal/grid"
+	"swquake/internal/mpi"
+	"swquake/internal/plasticity"
+	"swquake/internal/seismo"
+	"swquake/internal/source"
+)
+
+// RunParallel executes the configured simulation over an mx x my process
+// grid of simulated MPI ranks (paper §6.3 level 1): each rank owns one
+// block of the horizontal plane, exchanges velocity halos after the
+// velocity update and stress halos after the stress update, and the
+// results (traces, PGV, yielded counts) are merged as if gathered to rank
+// 0. The parallel run is numerically identical to the serial one — the
+// cross-check tests rely on that — including in compressed-storage mode,
+// where ranks exchange the decoded (round-tripped) halo values so ghost
+// data matches the serial run bit for bit.
+//
+// Checkpointing is a serial-runner feature; RunParallel rejects
+// configurations that request it.
+func RunParallel(cfg Config, mx, my int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Checkpoint != nil {
+		return nil, fmt.Errorf("core: RunParallel does not support checkpointing")
+	}
+	pg, err := decomp.NewProcessGrid(cfg.Dims.Nx, cfg.Dims.Ny, cfg.Dims.Nz, mx, my)
+	if err != nil {
+		return nil, err
+	}
+	srcParts, err := source.Partition(cfg.Sources, cfg.Dims.Nx, cfg.Dims.Ny, mx, my)
+	if err != nil {
+		return nil, err
+	}
+
+	block := pg.BlockDims()
+	world := mpi.NewWorld(pg.Size())
+
+	type rankOut struct {
+		rec     *seismo.Recorder
+		pgv     *seismo.PGVField
+		offI    int
+		offJ    int
+		yielded int64
+		err     error
+	}
+	outs := make([]rankOut, pg.Size())
+	var failMu sync.Mutex
+
+	world.Run(func(r *mpi.Rank) {
+		out := &outs[r.ID()]
+		i0, j0 := pg.Offset(r.ID())
+		out.offI, out.offJ = i0, j0
+
+		local := cfg
+		local.Dims = block
+		local.OriginX = cfg.OriginX + float64(i0)*cfg.Dx
+		local.OriginY = cfg.OriginY + float64(j0)*cfg.Dx
+		local.Sources = srcParts[r.ID()]
+		local.Stations = nil
+		for _, st := range cfg.Stations {
+			if st.I >= i0 && st.I < i0+block.Nx && st.J >= j0 && st.J < j0+block.Ny {
+				local.Stations = append(local.Stations,
+					seismo.Station{Name: st.Name, I: st.I - i0, J: st.J - j0, K: st.K})
+			}
+		}
+		// sponge width can exceed the local block; disable validation issue
+		// by building the sponge manually below
+		spongeWidth := local.SpongeWidth
+		local.SpongeWidth = 0
+
+		sim, err := New(local)
+		if err != nil {
+			failMu.Lock()
+			out.err = err
+			failMu.Unlock()
+			return
+		}
+		if spongeWidth > 0 {
+			alpha := cfg.SpongeAlpha
+			if alpha <= 0 {
+				alpha = 0.08
+			}
+			sim.sponge = fd.NewSpongeGlobal(cfg.Dims.Nx, cfg.Dims.Ny, cfg.Dims.Nz,
+				spongeWidth, alpha, i0, j0, block.Nx, block.Ny, block.Nz)
+		}
+		// all ranks must agree on dt: take the global CFL minimum, then
+		// refresh everything derived from it
+		sim.Cfg.Dt = r.AllreduceMax(-sim.Cfg.Dt) * -1
+		sim.rebuildForDt()
+
+		for n := 0; n < cfg.Steps; n++ {
+			dtdx := float32(sim.Cfg.Dt / cfg.Dx)
+			if sim.comp != nil {
+				// compressed step with exchanges between the phases: the
+				// neighbours exchange the DECODED (round-tripped) values, so
+				// ghost data is bit-identical to what a serial compressed
+				// run holds at the same global positions
+				sim.countKernels()
+				sim.compDecodeAll()
+				sim.compVelocityPass(dtdx)
+				exchangeHalos(r, pg, sim.WF.VelocityFields(), n*2)
+				sim.compStressPass(dtdx)
+				sim.compStoreAll()
+				exchangeHalos(r, pg, sim.WF.StressFields(), n*2+1)
+				sim.compEncodeStressGhosts()
+			} else {
+				fd.ApplyFreeSurface(sim.WF)
+				fd.UpdateVelocity(sim.WF, sim.Med, dtdx, 0, block.Nz)
+				exchangeHalos(r, pg, sim.WF.VelocityFields(), n*2)
+				fd.ApplyFreeSurface(sim.WF)
+				if sim.sls != nil {
+					sim.sls.Before(sim.WF)
+				}
+				fd.UpdateStress(sim.WF, sim.Med, dtdx, 0, block.Nz)
+				if sim.sls != nil {
+					sim.sls.After(sim.WF, sim.Cfg.Dt, 0, block.Nz)
+				}
+				sim.srcs.Inject(sim.WF, sim.simTime, sim.Cfg.Dt, cfg.Dx, 0, block.Nz)
+				if sim.Plas != nil {
+					sim.yielded += int64(plasticity.Apply(sim.WF, sim.Plas, sim.Cfg.Dt, 0, block.Nz))
+				}
+				if sim.atten != nil {
+					sim.atten.Apply(sim.WF, 0, block.Nz)
+				}
+				if sim.sponge != nil {
+					sim.sponge.Apply(sim.WF, 0, block.Nz)
+				}
+				exchangeHalos(r, pg, sim.WF.StressFields(), n*2+1)
+			}
+			sim.step++
+			sim.simTime += sim.Cfg.Dt
+			sim.rec.Record(sim.WF)
+			if sim.pgv != nil {
+				sim.pgv.Update(sim.WF)
+			}
+		}
+		out.rec = sim.rec
+		out.pgv = sim.pgv
+		out.yielded = sim.yielded
+	})
+
+	// merge
+	res := &Result{}
+	merged := seismo.NewRecorder(nil, 1, 1)
+	if cfg.RecordPGV {
+		res.PGV = seismo.NewPGVField(cfg.Dims.Nx, cfg.Dims.Ny, 0)
+	}
+	for id := range outs {
+		o := &outs[id]
+		if o.err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", id, o.err)
+		}
+		if o.rec != nil {
+			for _, tr := range o.rec.Traces {
+				g := *tr
+				g.Station.I += o.offI
+				g.Station.J += o.offJ
+				merged.Traces = append(merged.Traces, &g)
+				res.Dt = tr.Dt
+			}
+		}
+		if o.pgv != nil && res.PGV != nil {
+			for i := 0; i < o.pgv.Nx; i++ {
+				for j := 0; j < o.pgv.Ny; j++ {
+					gi, gj := o.offI+i, o.offJ+j
+					if v := o.pgv.At(i, j); v > res.PGV.At(gi, gj) {
+						res.PGV.PGV[gi*res.PGV.Ny+gj] = v
+					}
+				}
+			}
+		}
+		res.YieldedPointSteps += o.yielded
+	}
+	res.Recorder = merged
+	res.Steps = cfg.Steps
+	return res, nil
+}
+
+// exchangeHalos performs the 2D halo exchange for the given fields: the y
+// direction first, then x (whose face messages then carry valid corner
+// columns). Sends are posted non-blocking so opposite directions overlap.
+func exchangeHalos(r *mpi.Rank, pg *decomp.ProcessGrid, fields []*grid.Field, tagBase int) {
+	phase := func(minus, plus grid.Face, tag int) {
+		var reqs []*mpi.Request
+		type pending struct {
+			face grid.Face
+			req  *mpi.Request
+		}
+		var recvs []pending
+		for _, face := range []grid.Face{minus, plus} {
+			nb, ok := pg.Neighbor(r.ID(), face)
+			if !ok {
+				continue
+			}
+			buf := packFields(fields, face)
+			reqs = append(reqs, r.Isend(nb, tag, buf))
+			recvs = append(recvs, pending{face: face, req: r.Irecv(nb, tag)})
+		}
+		for _, p := range recvs {
+			data := p.req.Wait()
+			unpackFields(fields, p.face, data)
+		}
+		for _, q := range reqs {
+			q.Wait()
+		}
+	}
+	phase(grid.FaceYMinus, grid.FaceYPlus, tagBase*4)
+	phase(grid.FaceXMinus, grid.FaceXPlus, tagBase*4+1)
+}
+
+// packFields concatenates each field's boundary halo for the face.
+func packFields(fields []*grid.Field, face grid.Face) []float32 {
+	n := 0
+	for _, f := range fields {
+		n += f.HaloLen(face)
+	}
+	buf := make([]float32, n)
+	off := 0
+	for _, f := range fields {
+		l := f.HaloLen(face)
+		f.PackHalo(face, buf[off:off+l])
+		off += l
+	}
+	return buf
+}
+
+// unpackFields writes a received buffer into the ghost layers of the face.
+func unpackFields(fields []*grid.Field, face grid.Face, buf []float32) {
+	off := 0
+	for _, f := range fields {
+		l := f.HaloLen(face)
+		f.UnpackHalo(face, buf[off:off+l])
+		off += l
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"swquake/internal/compress"
+	"swquake/internal/model"
+	"swquake/internal/seismo"
+)
+
+// heterogeneousConfig uses a laterally varying model (basin) so the test
+// would catch decomposition bugs in material sampling too.
+func heterogeneousConfig() Config {
+	cfg := baseConfig()
+	cfg.Model = &model.Basin{
+		Background: model.Homogeneous{M: model.Material{Vp: 4000, Vs: 2310, Rho: 2500}},
+		Sediment:   model.Material{Vp: 2000, Vs: 1000, Rho: 2000},
+		Bowls: []model.Bowl{{
+			CX: 1200, CY: 1200, RadiusX: 600, RadiusY: 600, MaxDepth: 400,
+		}},
+	}
+	cfg.Stations = append(cfg.Stations, seismo.Station{Name: "S2", I: 5, J: 20, K: 0})
+	cfg.Steps = 30
+	return cfg
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := heterogeneousConfig()
+
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, procs := range [][2]int{{2, 2}, {1, 4}, {3, 1}} {
+		par, err := RunParallel(cfg, procs[0], procs[1])
+		if err != nil {
+			t.Fatalf("%v: %v", procs, err)
+		}
+		for _, name := range []string{"S1", "S2"} {
+			a := serial.Recorder.Trace(name)
+			b := par.Recorder.Trace(name)
+			if b == nil {
+				t.Fatalf("%v: trace %s missing", procs, name)
+			}
+			if len(a.U) != len(b.U) {
+				t.Fatalf("%v: %s lengths %d vs %d", procs, name, len(a.U), len(b.U))
+			}
+			for i := range a.U {
+				if a.U[i] != b.U[i] || a.V[i] != b.V[i] || a.W[i] != b.W[i] {
+					t.Fatalf("%v: %s diverges at sample %d: %g vs %g",
+						procs, name, i, a.U[i], b.U[i])
+				}
+			}
+		}
+		// PGV fields must match everywhere
+		for i := 0; i < cfg.Dims.Nx; i++ {
+			for j := 0; j < cfg.Dims.Ny; j++ {
+				if serial.PGV.At(i, j) != par.PGV.At(i, j) {
+					t.Fatalf("%v: PGV differs at (%d,%d)", procs, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelNonlinearMatchesSerial(t *testing.T) {
+	cfg := heterogeneousConfig()
+	cfg.Nonlinear = true
+	cfg.Plasticity = PlasticityConfig{
+		Cohesion:      5e4,
+		FrictionAngle: 30 * math.Pi / 180,
+		Lithostatic:   true,
+	}
+
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.YieldedPointSteps != par.YieldedPointSteps {
+		t.Fatalf("yield counts differ: %d vs %d", serial.YieldedPointSteps, par.YieldedPointSteps)
+	}
+	a, b := serial.Recorder.Trace("S1"), par.Recorder.Trace("S1")
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatalf("nonlinear parallel diverges at sample %d", i)
+		}
+	}
+}
+
+func TestParallelRejectsUnsupported(t *testing.T) {
+	cfg := heterogeneousConfig()
+	if _, err := RunParallel(cfg, 5, 2); err == nil {
+		t.Fatal("non-divisible process grid accepted")
+	}
+}
+
+func TestParallelCompressedMatchesSerialCompressed(t *testing.T) {
+	// the compressed parallel path exchanges decoded (round-tripped)
+	// values, so ghost data matches what the serial compressed run holds
+	// at the same positions — the runs must agree bit-exactly
+	cfg := heterogeneousConfig()
+	stats, err := CalibrateCompression(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Compression = CompressionConfig{Method: compress.Normalized, Stats: stats}
+
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"S1", "S2"} {
+		a, b := serial.Recorder.Trace(name), par.Recorder.Trace(name)
+		if b == nil || len(a.U) != len(b.U) {
+			t.Fatalf("%s trace shape mismatch", name)
+		}
+		for i := range a.U {
+			if a.U[i] != b.U[i] || a.V[i] != b.V[i] || a.W[i] != b.W[i] {
+				t.Fatalf("compressed parallel diverges at %s sample %d: %g vs %g",
+					name, i, a.U[i], b.U[i])
+			}
+		}
+	}
+}
+
+func TestParallelSourcePartitioning(t *testing.T) {
+	// a source on a rank boundary must be injected exactly once
+	cfg := heterogeneousConfig()
+	cfg.Sources[0].I = 12 // block boundary for mx=2 (blocks of 12)
+	cfg.Sources[0].J = 12
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial.Recorder.Trace("S1"), par.Recorder.Trace("S1")
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatalf("boundary source handled differently at sample %d", i)
+		}
+	}
+}

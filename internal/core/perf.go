@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"swquake/internal/fd"
+	"swquake/internal/plasticity"
+)
+
+// Perf mirrors the paper's measurement mechanism (§7.1): flop counts come
+// from per-kernel per-point operation counts (the paper counts assembly
+// arithmetic and cross-checks with the PERF hardware monitor; we count the
+// statically known arithmetic of each Go kernel), and rates are averaged
+// over the executed steps. Operations added for optimization purposes —
+// the compression codecs — are NOT counted as flops, matching the paper's
+// accounting ("all the operations added for optimization purposes, such as
+// the compression-related operations, are not counted").
+type Perf struct {
+	VelocityPoints   int64
+	StressPoints     int64
+	PlasticityPoints int64
+	SpongePoints     int64
+	Steps            int64
+	Elapsed          time.Duration
+}
+
+// Flops returns the counted floating-point operations.
+func (p Perf) Flops() int64 {
+	return p.VelocityPoints*fd.VelocityFlopsPerPoint +
+		p.StressPoints*fd.StressFlopsPerPoint +
+		p.PlasticityPoints*plasticity.FlopsPerPoint +
+		p.SpongePoints*fd.SpongeFlopsPerPoint
+}
+
+// Gflops returns the sustained host rate over the elapsed wall time.
+func (p Perf) Gflops() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Flops()) / p.Elapsed.Seconds() / 1e9
+}
+
+// PointsPerSecond returns grid-point updates per second (the solver
+// throughput metric used for host-side comparisons).
+func (p Perf) PointsPerSecond() float64 {
+	if p.Elapsed <= 0 || p.Steps == 0 {
+		return 0
+	}
+	return float64(p.VelocityPoints) / p.Elapsed.Seconds()
+}
+
+func (p Perf) String() string {
+	return fmt.Sprintf("%d steps, %.3g flops, %.2f Gflops sustained, %.1f Mpoints/s",
+		p.Steps, float64(p.Flops()), p.Gflops(), p.PointsPerSecond()/1e6)
+}

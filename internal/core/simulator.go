@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"swquake/internal/cgexec"
+	"swquake/internal/checkpoint"
+	"swquake/internal/compress"
+	"swquake/internal/fd"
+	"swquake/internal/model"
+	"swquake/internal/plasticity"
+	"swquake/internal/seismo"
+	"swquake/internal/source"
+)
+
+// Simulator advances one block of the simulation.
+type Simulator struct {
+	Cfg Config
+
+	WF   *fd.Wavefield
+	Med  *fd.Medium
+	Plas *plasticity.Params
+
+	sponge *fd.Sponge
+	atten  *fd.Attenuation
+	sls    *fd.SLS
+	cgx    *cgexec.Executor
+	rec    *seismo.Recorder
+	pgv    *seismo.PGVField
+	srcs   source.Set
+	comp   *compressedState
+
+	step    int
+	simTime float64
+	yielded int64
+	perf    Perf
+}
+
+// Result is what Run returns.
+type Result struct {
+	Recorder *seismo.Recorder
+	PGV      *seismo.PGVField
+	Steps    int
+	Dt       float64
+	// YieldedPointSteps counts (point, step) pairs where plasticity engaged.
+	YieldedPointSteps int64
+	// Perf is the PERF-style flop/throughput accounting of the run.
+	Perf Perf
+	// Sunway holds the simulated core-group accounting when Config.SunwaySim
+	// is set (nil stats otherwise).
+	Sunway *cgexec.Stats
+	// Checkpoints lists restart files written during the run.
+	Checkpoints []checkpoint.Info
+	// Sim exposes the simulator for inspection after the run.
+	Sim *Simulator
+}
+
+// New builds a simulator: samples the medium, derives the time step,
+// prepares plasticity, sponge, recorders, and compressed storage.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{Cfg: cfg}
+	s.WF = fd.NewWavefield(cfg.Dims)
+	s.Med = fd.NewMediumFromModel(cfg.Dims, cfg.Dx, cfg.Model, cfg.OriginX, cfg.OriginY)
+	if err := s.Med.Validate(); err != nil {
+		return nil, err
+	}
+
+	if s.Cfg.Dt <= 0 {
+		s.Cfg.Dt = s.autoDt()
+	} else if s.Cfg.Dt > s.autoDt() {
+		return nil, fmt.Errorf("core: dt %g exceeds CFL limit %g", s.Cfg.Dt, s.autoDt())
+	}
+
+	if cfg.Nonlinear {
+		p := plasticity.NewParams(cfg.Dims)
+		p.SetUniform(cfg.Plasticity.Cohesion, cfg.Plasticity.FrictionAngle, cfg.Plasticity.FluidPressure)
+		if cfg.Plasticity.Lithostatic {
+			p.SetLithostatic(cfg.Dx, cfg.Plasticity.LithoDensity)
+		}
+		p.Tv = cfg.Plasticity.Tv
+		s.Plas = p
+	}
+	if cfg.SpongeWidth > 0 {
+		s.sponge = fd.NewSponge(cfg.Dims.Nx, cfg.Dims.Ny, cfg.Dims.Nz, cfg.SpongeWidth, cfg.SpongeAlpha)
+	}
+	if cfg.Attenuation.Enabled {
+		s.buildAttenuation()
+	}
+	s.rec = seismo.NewRecorder(cfg.Stations, s.Cfg.Dt, cfg.SampleEvery)
+	if cfg.RecordPGV {
+		s.pgv = seismo.NewPGVField(cfg.Dims.Nx, cfg.Dims.Ny, 0)
+	}
+	s.srcs = source.Set{Sources: cfg.Sources}
+
+	if cfg.Compression.Method != compress.Off {
+		cs, err := newCompressedState(s.WF, cfg.Compression)
+		if err != nil {
+			return nil, err
+		}
+		s.comp = cs
+	}
+	if cfg.SunwaySim {
+		ex, err := cgexec.New(cfg.Dims)
+		if err != nil {
+			return nil, err
+		}
+		s.cgx = ex
+	}
+	return s, nil
+}
+
+// rebuildForDt refreshes every dt-dependent precomputation (attenuation
+// factors, recorder sampling) after Cfg.Dt is changed externally — the
+// parallel runner does this once the global CFL minimum is agreed.
+func (s *Simulator) rebuildForDt() {
+	if s.Cfg.Attenuation.Enabled {
+		s.buildAttenuation()
+	}
+	s.rec = seismo.NewRecorder(s.Cfg.Stations, s.Cfg.Dt, s.Cfg.SampleEvery)
+}
+
+// buildAttenuation constructs the configured attenuation operator (the
+// exponential constant-Q damper or the SLS memory-variable formulation).
+func (s *Simulator) buildAttenuation() {
+	var qm fd.QModel
+	if s.Cfg.Attenuation.VsScaled {
+		qm = fd.VsScaledQ{Med: s.Med, Factor: s.Cfg.Attenuation.Factor}
+	} else {
+		qm = fd.ConstantQ{Qp: s.Cfg.Attenuation.Qp, Qs: s.Cfg.Attenuation.Qs}
+	}
+	if s.Cfg.Attenuation.UseSLS {
+		s.sls = fd.NewSLS(s.Cfg.Dims, qm, s.Cfg.Attenuation.F0)
+		s.atten = nil
+	} else {
+		s.atten = fd.NewAttenuation(s.Cfg.Dims, qm, s.Cfg.Attenuation.F0, s.Cfg.Dt)
+		s.sls = nil
+	}
+}
+
+// autoDt derives the CFL time step from the sampled medium.
+func (s *Simulator) autoDt() float64 {
+	var vpMax float64
+	d := s.Cfg.Dims
+	for i := 0; i < d.Nx; i++ {
+		for j := 0; j < d.Ny; j++ {
+			for k := 0; k < d.Nz; k++ {
+				lam := float64(s.Med.Lam.At(i, j, k))
+				mu := float64(s.Med.Mu.At(i, j, k))
+				rho := float64(s.Med.Rho.At(i, j, k))
+				vp := math.Sqrt((lam + 2*mu) / rho)
+				if vp > vpMax {
+					vpMax = vp
+				}
+			}
+		}
+	}
+	return 0.9 * model.CFLTimeStep(s.Cfg.Dx, vpMax)
+}
+
+// Dt returns the time step in use.
+func (s *Simulator) Dt() float64 { return s.Cfg.Dt }
+
+// Time returns the current simulation time.
+func (s *Simulator) Time() float64 { return s.simTime }
+
+// StepCount returns the number of completed steps.
+func (s *Simulator) StepCount() int { return s.step }
+
+// Recorder exposes the station recorder (also available via Run's Result).
+func (s *Simulator) Recorder() *seismo.Recorder { return s.rec }
+
+// PGV exposes the peak-ground-velocity accumulator, or nil if disabled.
+func (s *Simulator) PGV() *seismo.PGVField { return s.pgv }
+
+// Step advances one time step.
+func (s *Simulator) Step() {
+	if s.comp != nil {
+		s.stepCompressed()
+	} else {
+		s.stepPlain(s.WF)
+	}
+	s.step++
+	s.simTime += s.Cfg.Dt
+
+	s.rec.Record(s.WF)
+	if s.pgv != nil {
+		s.pgv.Update(s.WF)
+	}
+}
+
+// stepPlain is the uncompressed time step on the given wavefield.
+func (s *Simulator) stepPlain(wf *fd.Wavefield) {
+	dtdx := float32(s.Cfg.Dt / s.Cfg.Dx)
+	nz := s.Cfg.Dims.Nz
+	s.countKernels()
+
+	fd.ApplyFreeSurface(wf)
+	if s.cgx != nil {
+		if err := s.cgx.VelocityStep(wf, s.Med, dtdx); err != nil {
+			panic(err) // construction validated the block; cannot happen
+		}
+	} else {
+		fd.UpdateVelocity(wf, s.Med, dtdx, 0, nz)
+	}
+	fd.ApplyFreeSurface(wf)
+	if s.sls != nil {
+		s.sls.Before(wf)
+	}
+	if s.cgx != nil {
+		if err := s.cgx.StressStep(wf, s.Med, dtdx); err != nil {
+			panic(err)
+		}
+	} else {
+		fd.UpdateStress(wf, s.Med, dtdx, 0, nz)
+	}
+	if s.sls != nil {
+		s.sls.After(wf, s.Cfg.Dt, 0, nz)
+	}
+	s.srcs.Inject(wf, s.simTime, s.Cfg.Dt, s.Cfg.Dx, 0, nz)
+	if s.Plas != nil {
+		s.yielded += int64(plasticity.Apply(wf, s.Plas, s.Cfg.Dt, 0, nz))
+	}
+	if s.atten != nil {
+		s.atten.Apply(wf, 0, nz)
+	}
+	if s.sponge != nil {
+		s.sponge.Apply(wf, 0, nz)
+	}
+}
+
+// countKernels tallies the per-step kernel work for Perf.
+func (s *Simulator) countKernels() {
+	pts := s.Cfg.Dims.Points()
+	s.perf.VelocityPoints += pts
+	s.perf.StressPoints += pts
+	if s.Plas != nil {
+		s.perf.PlasticityPoints += pts
+	}
+	if s.sponge != nil {
+		s.perf.SpongePoints += pts
+	}
+	s.perf.Steps++
+}
+
+// Run advances all configured steps.
+func (s *Simulator) Run() (*Result, error) {
+	res := &Result{Recorder: s.rec, PGV: s.pgv, Dt: s.Cfg.Dt, Sim: s}
+	runStart := timeNow()
+	for n := 0; n < s.Cfg.Steps; n++ {
+		s.Step()
+		if s.Cfg.Checkpoint != nil {
+			info, saved, err := s.Cfg.Checkpoint.MaybeSave(s.step, s.simTime, s.WF)
+			if err != nil {
+				return nil, err
+			}
+			if saved {
+				res.Checkpoints = append(res.Checkpoints, info)
+			}
+		}
+		if m := s.WF.MaxAbsVelocity(); math.IsNaN(float64(m)) || m > 1e6 {
+			return nil, fmt.Errorf("core: solution diverged at step %d (max |v| = %g)", s.step, m)
+		}
+	}
+	res.Steps = s.step
+	res.YieldedPointSteps = s.yielded
+	s.perf.Elapsed += timeNow().Sub(runStart)
+	res.Perf = s.perf
+	if s.cgx != nil {
+		stats := s.cgx.Stats
+		res.Sunway = &stats
+	}
+	return res, nil
+}
+
+// timeNow is a seam for tests.
+var timeNow = time.Now
+
+// Restore loads a checkpoint into the simulator (step count, time and
+// wavefield), resuming a run after a failure.
+func (s *Simulator) Restore(path string) error {
+	step, tm, wf, err := checkpoint.Load(path)
+	if err != nil {
+		return err
+	}
+	if wf.D != s.Cfg.Dims {
+		return fmt.Errorf("core: checkpoint dims %v do not match config %v", wf.D, s.Cfg.Dims)
+	}
+	s.WF = wf
+	s.step = step
+	s.simTime = tm
+	if s.comp != nil {
+		s.comp.encodeAll(s.WF)
+	}
+	return nil
+}

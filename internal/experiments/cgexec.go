@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"swquake/internal/cgexec"
+	"swquake/internal/fd"
+	"swquake/internal/grid"
+	"swquake/internal/model"
+	"swquake/internal/perfmodel"
+	"swquake/internal/sunway"
+)
+
+// ExecutedMEMResult compares the executed tile-by-tile core-group run
+// against the analytic MEM-strategy prediction.
+type ExecutedMEMResult struct {
+	// SimBandwidthGBs is the effective DMA bandwidth of the executed
+	// tiled step under the machine model's clock.
+	SimBandwidthGBs float64
+	// ModelBandwidthGBs is the blocking model's prediction.
+	ModelBandwidthGBs float64
+	// HaloOverhead is executed halo bytes / interior bytes.
+	HaloOverhead float64
+	// LDMPeakBytes is the executed peak working set.
+	LDMPeakBytes int
+	// StepSeconds is the simulated CG time for one velocity+stress pass.
+	StepSeconds float64
+}
+
+// ExecutedMEM runs one velocity+stress pass of a CG block through the
+// tile-by-tile executor (package cgexec) and cross-checks the simulated
+// bandwidth and LDM usage against the analytic model that Figs. 7-9 and
+// Table 4 are built on. This closes the loop between the executed and the
+// modeled halves of the reproduction.
+func ExecutedMEM(w io.Writer, block grid.Dims) (*ExecutedMEMResult, error) {
+	wf := fd.NewWavefield(block)
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range wf.AllFields() {
+		for i := range f.Data {
+			f.Data[i] = rng.Float32()*2 - 1
+		}
+	}
+	med := fd.NewMedium(block)
+	mat := model.Material{Vp: 5000, Vs: 2887, Rho: 2700}
+	lam, mu := mat.Lame()
+	med.Rho.Fill(float32(mat.Rho))
+	med.Lam.Fill(float32(lam))
+	med.Mu.Fill(float32(mu))
+
+	ex, err := cgexec.New(block)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.VelocityStep(wf, med, 0.001); err != nil {
+		return nil, err
+	}
+	if err := ex.StressStep(wf, med, 0.001); err != nil {
+		return nil, err
+	}
+
+	s := ex.Stats
+	interior := float64(block.Points()) * (10 + 3 + 11 + 6) * 4 // logical traffic
+	res := &ExecutedMEMResult{
+		SimBandwidthGBs:   s.EffectiveBandwidth(),
+		ModelBandwidthGBs: ex.Cfg.EffBWGBs,
+		HaloOverhead:      float64(s.DMAGetBytes+s.DMAPutBytes)/interior - 1,
+		LDMPeakBytes:      s.LDMPeakBytes,
+		StepSeconds:       s.StepSeconds(),
+	}
+	fmt.Fprintln(w, "Executed core-group step (tile-by-tile through simulated LDM/DMA):")
+	fmt.Fprintf(w, "block %v, tile Wz=%d Wy=%d, %d tiles, %d DMA transfers\n",
+		block, ex.Cfg.Wz, ex.Cfg.Wy, s.Tiles, s.DMATransfers)
+	fmt.Fprintf(w, "simulated bandwidth %.1f GB/s vs blocking-model prediction %.1f GB/s (DDR3 peak %.0f)\n",
+		res.SimBandwidthGBs, res.ModelBandwidthGBs, float64(sunway.CGMemBWGBs))
+	fmt.Fprintf(w, "halo DMA overhead %.1f%%, LDM peak %d B of %d\n",
+		100*res.HaloOverhead, res.LDMPeakBytes, sunway.LDMBytes)
+	fmt.Fprintf(w, "simulated CG step %.2f ms (perfmodel linear-case estimate %.2f ms at this size)\n",
+		1e3*res.StepSeconds, 1e3*perfmodel.CGStepSeconds(perfmodel.Case{}, block.Points()))
+	return res, nil
+}

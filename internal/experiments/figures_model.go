@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"swquake/internal/perfmodel"
+)
+
+// Fig7 prints the kernel optimization ladder (speedups over the MPE
+// baseline and achieved DMA bandwidth) and returns speedups by kernel and
+// strategy.
+func Fig7(w io.Writer) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	fmt.Fprintln(w, "Fig 7 (top): kernel speedup over MPE baseline")
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s\n", "kernel", "MPE", "PAR", "MEM", "CMPR")
+	for _, k := range perfmodel.Fig7Kernels() {
+		m := map[string]float64{}
+		fmt.Fprintf(w, "%-16s", k.Name)
+		for _, s := range perfmodel.Strategies {
+			sp := k.Speedup(s)
+			m[s.String()] = sp
+			fmt.Fprintf(w, " %8.1f", sp)
+		}
+		fmt.Fprintln(w)
+		out[k.Name] = m
+	}
+	fmt.Fprintln(w, "\nFig 7 (bottom): achieved DMA bandwidth, GB/s (of 34 peak)")
+	fmt.Fprintf(w, "%-16s %8s %8s %8s\n", "kernel", "PAR", "MEM", "CMPR")
+	for _, k := range perfmodel.Fig7Kernels() {
+		fmt.Fprintf(w, "%-16s %8.1f %8.1f %8.1f\n", k.Name,
+			k.AchievedBandwidth(perfmodel.PAR),
+			k.AchievedBandwidth(perfmodel.MEM),
+			k.AchievedBandwidth(perfmodel.CMPR))
+	}
+	return out
+}
+
+// Fig8Point is one weak-scaling sample.
+type Fig8Point struct {
+	Procs  int
+	Pflops map[string]float64
+}
+
+// Fig8 prints the weak-scaling series (8K -> 160K processes, per-CG block
+// 160x160x512) for the four cases and returns the points.
+func Fig8(w io.Writer) []Fig8Point {
+	procsList := []int{8000, 12000, 16000, 24000, 32000, 40000, 48000, 64000, 80000, 96000, 120000, 160000}
+	cases := []perfmodel.Case{
+		{},
+		{Nonlinear: true},
+		{Compressed: true},
+		{Nonlinear: true, Compressed: true},
+	}
+	fmt.Fprintln(w, "Fig 8: weak scaling, sustained Pflops (per-CG block 160x160x512)")
+	fmt.Fprintf(w, "%8s", "procs")
+	for _, c := range cases {
+		fmt.Fprintf(w, " %22s", c.String())
+	}
+	fmt.Fprintln(w)
+	var out []Fig8Point
+	for _, p := range procsList {
+		pt := Fig8Point{Procs: p, Pflops: map[string]float64{}}
+		fmt.Fprintf(w, "%8d", p)
+		for _, c := range cases {
+			v := perfmodel.WeakScalingPoint(c, p, perfmodel.PaperWeakBlock)
+			pt.Pflops[c.String()] = v
+			fmt.Fprintf(w, " %22.2f", v)
+		}
+		fmt.Fprintln(w)
+		out = append(out, pt)
+	}
+	for _, c := range cases {
+		fmt.Fprintf(w, "peak %-22s %6.1f Pflops (efficiency %.1f%%)\n",
+			c.String(),
+			perfmodel.WeakScalingPoint(c, 160000, perfmodel.PaperWeakBlock),
+			100*perfmodel.WeakEfficiency(c, 160000))
+	}
+	return out
+}
+
+// Fig9Series is one strong-scaling curve.
+type Fig9Series struct {
+	Mesh     string
+	Case     string
+	Speedups map[int]float64 // procs -> speedup vs 8000
+}
+
+// Fig9 prints the strong-scaling curves for the three mesh sizes in the
+// four cases and returns the series.
+func Fig9(w io.Writer) []Fig9Series {
+	procsList := []int{8000, 12000, 16000, 24000, 32000, 48000, 64000, 80000, 100000, 128000, 160000}
+	meshes := perfmodel.PaperStrongMeshes()
+	names := make([]string, 0, len(meshes))
+	for n := range meshes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cases := []perfmodel.Case{
+		{},
+		{Nonlinear: true},
+		{Compressed: true},
+		{Nonlinear: true, Compressed: true},
+	}
+	var out []Fig9Series
+	for _, c := range cases {
+		fmt.Fprintf(w, "Fig 9 panel: %s (speedup vs 8,000 procs; ideal at 160K = 20.0)\n", c.String())
+		fmt.Fprintf(w, "%8s", "procs")
+		for _, n := range names {
+			fmt.Fprintf(w, " %10s", n)
+		}
+		fmt.Fprintln(w)
+		series := map[string]*Fig9Series{}
+		for _, n := range names {
+			s := &Fig9Series{Mesh: n, Case: c.String(), Speedups: map[int]float64{}}
+			series[n] = s
+		}
+		for _, p := range procsList {
+			fmt.Fprintf(w, "%8d", p)
+			for _, n := range names {
+				sp := perfmodel.StrongSpeedup(c, meshes[n], 8000, p)
+				series[n].Speedups[p] = sp
+				fmt.Fprintf(w, " %10.2f", sp)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-10s 160K efficiency %.1f%%\n", n,
+				100*perfmodel.StrongEfficiency(c, meshes[n], 8000, 160000))
+			out = append(out, *series[n])
+		}
+	}
+	return out
+}

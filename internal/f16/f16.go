@@ -1,0 +1,111 @@
+// Package f16 implements the three 32-bit → 16-bit lossy floating-point
+// codecs of the paper's on-the-fly compression scheme (§6.5, Fig. 5d):
+//
+//	Method 1 — IEEE 754 binary16 (1 sign, 5 exponent, 10 mantissa bits).
+//	Method 2 — adaptive exponent width: the exponent field is sized to the
+//	           dynamic range recorded during the coarse preprocessing run,
+//	           and the remaining bits go to the mantissa.
+//	Method 3 — range normalization: values are affinely mapped into [1,2),
+//	           where the IEEE exponent is constant, so all 16 bits can store
+//	           mantissa. This is the cheapest and the one the paper adopts
+//	           for most velocity and stress variables.
+//
+// All three methods halve memory footprint and DMA traffic; they differ in
+// accuracy and conversion cost.
+package f16
+
+import "math"
+
+// Half is an IEEE 754 binary16 value (method 1).
+type Half uint16
+
+// FromFloat32 converts f to binary16 with round-to-nearest-even,
+// handling subnormals, infinities and NaN.
+func FromFloat32(f float32) Half {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	frac := b & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if frac != 0 {
+			return Half(sign | 0x7e00) // quiet NaN
+		}
+		return Half(sign | 0x7c00)
+	case exp == 0 && frac == 0:
+		return Half(sign)
+	}
+
+	// unbiased exponent
+	e := exp - 127
+	switch {
+	case e > 15: // overflow -> Inf
+		return Half(sign | 0x7c00)
+	case e >= -14: // normal half
+		// round mantissa from 23 to 10 bits, round-to-nearest-even
+		mant := frac >> 13
+		round := frac & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && mant&1 == 1) {
+			mant++
+		}
+		h := uint16(e+15)<<10 + uint16(mant) // mantissa carry may bump exponent; that is correct
+		return Half(sign | h)
+	case e >= -25: // subnormal half (e == -25 can still round up to one ulp)
+		shift := uint32(-e - 1) // 14..24
+		m24 := frac | 0x800000
+		mant := m24 >> shift
+		rem := m24 & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && mant&1 == 1) {
+			mant++
+		}
+		return Half(sign | uint16(mant))
+	default: // underflow -> signed zero
+		return Half(sign)
+	}
+}
+
+// Float32 converts the binary16 value back to float32 (exact).
+func (h Half) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	frac := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0x1f: // Inf/NaN
+		if frac != 0 {
+			return math.Float32frombits(sign | 0x7fc00000 | frac<<13)
+		}
+		return math.Float32frombits(sign | 0x7f800000)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign)
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | frac<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | frac<<13)
+	}
+}
+
+// EncodeSlice applies FromFloat32 to each element of src into dst.
+// dst must have len(src) capacity.
+func EncodeSlice(dst []uint16, src []float32) {
+	for i, v := range src {
+		dst[i] = uint16(FromFloat32(v))
+	}
+}
+
+// DecodeSlice applies Float32 to each element of src into dst.
+func DecodeSlice(dst []float32, src []uint16) {
+	for i, v := range src {
+		dst[i] = Half(v).Float32()
+	}
+}

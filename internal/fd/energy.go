@@ -1,0 +1,48 @@
+package fd
+
+// Energy diagnostics. The solver's stability monitor and the tests use the
+// physical energy decomposition: kinetic energy from the velocities and
+// elastic strain energy from the stresses (via the compliance, i.e.
+// sigma : C^-1 : sigma / 2).
+
+// Energy holds the decomposed energy of a wavefield over a medium.
+type Energy struct {
+	Kinetic float64 // J (per unit cell volume factor dx^3 applied by caller)
+	Strain  float64
+}
+
+// Total returns kinetic + strain energy.
+func (e Energy) Total() float64 { return e.Kinetic + e.Strain }
+
+// ComputeEnergy evaluates the energy density integral over the interior
+// (multiply by dx^3 for physical units).
+func ComputeEnergy(wf *Wavefield, med *Medium) Energy {
+	var ek, es float64
+	d := wf.D
+	for i := 0; i < d.Nx; i++ {
+		for j := 0; j < d.Ny; j++ {
+			u, v, w := wf.U.Row(i, j), wf.V.Row(i, j), wf.W.Row(i, j)
+			xx, yy, zz := wf.XX.Row(i, j), wf.YY.Row(i, j), wf.ZZ.Row(i, j)
+			xy, xz, yz := wf.XY.Row(i, j), wf.XZ.Row(i, j), wf.YZ.Row(i, j)
+			rho, lam, mu := med.Rho.Row(i, j), med.Lam.Row(i, j), med.Mu.Row(i, j)
+			for k := 0; k < d.Nz; k++ {
+				ek += 0.5 * float64(rho[k]) *
+					(float64(u[k])*float64(u[k]) + float64(v[k])*float64(v[k]) + float64(w[k])*float64(w[k]))
+
+				l, m := float64(lam[k]), float64(mu[k])
+				if m <= 0 {
+					continue
+				}
+				// isotropic compliance: es = [ (1+nu') * s:s - nu'' tr^2 ] ...
+				// expressed via lambda/mu:
+				//   es = 1/(4 mu) * (s:s) - lambda/(4 mu (3 lambda + 2 mu)) * tr(s)^2
+				sxx, syy, szz := float64(xx[k]), float64(yy[k]), float64(zz[k])
+				sxy, sxz, syz := float64(xy[k]), float64(xz[k]), float64(yz[k])
+				ss := sxx*sxx + syy*syy + szz*szz + 2*(sxy*sxy+sxz*sxz+syz*syz)
+				tr := sxx + syy + szz
+				es += ss/(4*m) - l*tr*tr/(4*m*(3*l+2*m))
+			}
+		}
+	}
+	return Energy{Kinetic: ek, Strain: es}
+}

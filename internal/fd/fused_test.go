@@ -1,0 +1,105 @@
+package fd
+
+import (
+	"testing"
+
+	"swquake/internal/grid"
+	"swquake/internal/model"
+)
+
+func randomWavefield(d grid.Dims, seed uint32) *Wavefield {
+	wf := NewWavefield(d)
+	s := seed
+	for _, f := range wf.AllFields() {
+		for i := range f.Data {
+			s = s*1664525 + 1013904223
+			f.Data[i] = float32(s%2000)/1000 - 1
+		}
+	}
+	return wf
+}
+
+func TestFusedVelocityMatchesScalar(t *testing.T) {
+	d := grid.Dims{Nx: 10, Ny: 12, Nz: 18}
+	scalar := randomWavefield(d, 1)
+	med := homogeneousMedium(d, model.Material{Vp: 5000, Vs: 2887, Rho: 2700})
+	fused := FuseWavefield(scalar)
+
+	UpdateVelocity(scalar, med, 0.001, 0, d.Nz)
+	UpdateVelocityFused(fused, med, 0.001, 0, d.Nz)
+
+	back := fused.Unfuse()
+	for c, f := range scalar.AllFields() {
+		if !f.InteriorEqual(back.AllFields()[c], 0) {
+			t.Fatalf("fused velocity kernel diverges in field %d", c)
+		}
+	}
+}
+
+func TestFusedStressMatchesScalar(t *testing.T) {
+	d := grid.Dims{Nx: 9, Ny: 11, Nz: 15}
+	scalar := randomWavefield(d, 2)
+	med := homogeneousMedium(d, model.Material{Vp: 4500, Vs: 2500, Rho: 2600})
+	fused := FuseWavefield(scalar)
+
+	UpdateStress(scalar, med, 0.002, 0, d.Nz)
+	UpdateStressFused(fused, med, 0.002, 0, d.Nz)
+
+	back := fused.Unfuse()
+	for c, f := range scalar.AllFields() {
+		if !f.InteriorEqual(back.AllFields()[c], 0) {
+			t.Fatalf("fused stress kernel diverges in field %d", c)
+		}
+	}
+}
+
+func TestFusedMultiStep(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 10, Nz: 12}
+	scalar := randomWavefield(d, 3)
+	med := homogeneousMedium(d, model.Material{Vp: 5000, Vs: 2887, Rho: 2700})
+	fused := FuseWavefield(scalar)
+	dtdx := float32(0.0004)
+
+	for n := 0; n < 4; n++ {
+		UpdateVelocity(scalar, med, dtdx, 0, d.Nz)
+		UpdateStress(scalar, med, dtdx, 0, d.Nz)
+		UpdateVelocityFused(fused, med, dtdx, 0, d.Nz)
+		UpdateStressFused(fused, med, dtdx, 0, d.Nz)
+	}
+	back := fused.Unfuse()
+	for c, f := range scalar.AllFields() {
+		if !f.InteriorEqual(back.AllFields()[c], 0) {
+			t.Fatalf("fused multi-step diverges in field %d", c)
+		}
+	}
+}
+
+func TestFusedRangeSplit(t *testing.T) {
+	d := grid.Dims{Nx: 6, Ny: 8, Nz: 16}
+	med := homogeneousMedium(d, model.Material{Vp: 5000, Vs: 2887, Rho: 2700})
+	a := FuseWavefield(randomWavefield(d, 4))
+	b := &FusedWavefield{D: d, Vel: grid.NewVecField(d, Halo, 3), Str: grid.NewVecField(d, Halo, 6)}
+	copy(b.Vel.Data, a.Vel.Data)
+	copy(b.Str.Data, a.Str.Data)
+
+	UpdateVelocityFused(a, med, 0.001, 0, d.Nz)
+	UpdateVelocityFused(b, med, 0.001, 0, 7)
+	UpdateVelocityFused(b, med, 0.001, 7, d.Nz)
+	for i := range a.Vel.Data {
+		if a.Vel.Data[i] != b.Vel.Data[i] {
+			t.Fatal("fused velocity range split diverged")
+		}
+	}
+}
+
+func TestNewFusedWavefieldZeroed(t *testing.T) {
+	f := NewFusedWavefield(grid.Dims{Nx: 4, Ny: 4, Nz: 4})
+	for _, v := range f.Vel.Data {
+		if v != 0 {
+			t.Fatal("velocity storage not zeroed")
+		}
+	}
+	if f.Str.NC != 6 || f.Vel.NC != 3 {
+		t.Fatal("component counts wrong")
+	}
+}

@@ -1,0 +1,112 @@
+package fd
+
+import (
+	"math"
+
+	"swquake/internal/grid"
+)
+
+// SLS implements anelastic attenuation with memory variables — the
+// standard-linear-solid (single relaxation mechanism) viscoelastic
+// formulation that production AWP-ODC uses, as opposed to the cheap
+// exponential operator in attenuation.go. Each stress component carries a
+// memory variable r_ij evolving as
+//
+//	dr/dt = -(1/tau_sigma) [ r + phi * dsigma_elastic/dt ]
+//
+// and the stress is corrected by the relaxed average of r. The defect
+// fraction phi and the relaxation time tau_sigma are chosen so the quality
+// factor at the reference frequency f0 is Q:
+//
+//	tau_sigma = 1/(2 pi f0),   phi ≈ 2/Q   (Q >> 1)
+//
+// Unlike the exponential operator, the SLS produces the physical
+// frequency-dependent Q of a relaxation mechanism (weakest damping far
+// from f0). It costs six extra 3D arrays plus a stress snapshot — this is
+// the memory pressure behind the paper's "over 35 instead of just 28
+// arrays" accounting for the production physics.
+type SLS struct {
+	D grid.Dims
+	// R holds the six memory variables, ordered like StressFields.
+	R [6]*grid.Field
+	// Phi is the per-cell modulus defect fraction (≈ 2/Q).
+	Phi *grid.Field
+	// TauSigma is the relaxation time (s).
+	TauSigma float64
+	// prev snapshots the stresses before the elastic update.
+	prev [6]*grid.Field
+}
+
+// NewSLS builds the memory-variable state for reference frequency f0 and
+// per-cell quality factors from qm (the Qs value is used for all
+// components; a per-component split costs little and adds nothing at this
+// fidelity).
+func NewSLS(d grid.Dims, qm QModel, f0 float64) *SLS {
+	s := &SLS{D: d, TauSigma: 1 / (2 * math.Pi * f0)}
+	for i := range s.R {
+		s.R[i] = grid.NewField(d, Halo)
+		s.prev[i] = grid.NewField(d, Halo)
+	}
+	s.Phi = grid.NewField(d, Halo)
+	for i := 0; i < d.Nx; i++ {
+		for j := 0; j < d.Ny; j++ {
+			for k := 0; k < d.Nz; k++ {
+				_, qs := qm.Q(i, j, k)
+				phi := 0.0
+				if qs > 0 {
+					phi = 2 / qs
+				}
+				s.Phi.Set(i, j, k, float32(phi))
+			}
+		}
+	}
+	return s
+}
+
+// Bytes returns the extra storage the formulation costs.
+func (s *SLS) Bytes() int64 {
+	var n int64
+	for i := range s.R {
+		n += s.R[i].Bytes() + s.prev[i].Bytes()
+	}
+	return n + s.Phi.Bytes()
+}
+
+// Before snapshots the stresses; call immediately before UpdateStress.
+func (s *SLS) Before(wf *Wavefield) {
+	for i, f := range wf.StressFields() {
+		s.prev[i].CopyFrom(f)
+	}
+}
+
+// After evolves the memory variables from the elastic stress increment and
+// applies the anelastic correction; call immediately after UpdateStress
+// (before plasticity, which must see the corrected trial stress).
+func (s *SLS) After(wf *Wavefield, dt float64, k0, k1 int) {
+	ts := s.TauSigma
+	a := float32((2*ts - dt) / (2*ts + dt))
+	b := float32(2 * dt / (2*ts + dt))
+	dtf := float32(dt)
+
+	for c, f := range wf.StressFields() {
+		r := s.R[c]
+		prev := s.prev[c]
+		for i := 0; i < s.D.Nx; i++ {
+			for j := 0; j < s.D.Ny; j++ {
+				row := f.Row(i, j)
+				rRow := r.Row(i, j)
+				pRow := prev.Row(i, j)
+				phiRow := s.Phi.Row(i, j)
+				for k := k0; k < k1; k++ {
+					dsigma := row[k] - pRow[k] // = M_u * strain-rate * dt
+					rOld := rRow[k]
+					// semi-implicit trapezoid for
+					//   dr/dt = -(r + phi*dsigma/dt)/tau_sigma
+					rNew := a*rOld - b*(phiRow[k]*dsigma/dtf)
+					rRow[k] = rNew
+					row[k] += dtf * 0.5 * (rOld + rNew)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package fd
+
+import "math"
+
+// Sponge implements Cerjan-style absorbing boundaries: inside a boundary
+// zone of configurable width, every dynamic field is multiplied each step by
+// a smooth damping profile < 1, absorbing outgoing waves. The top (k=0) face
+// is never damped — it carries the free surface.
+type Sponge struct {
+	D     struct{ Nx, Ny, Nz int }
+	Width int
+	// damp holds per-point damping factors, flattened like the fields but
+	// only over the interior (halo points are refreshed by exchanges).
+	damp []float32
+	// nonTrivial lists interior points with damp < 1 so the common interior
+	// fast path can skip multiplication entirely... kept simple: we store
+	// the full profile and rely on damp==1 being a cheap multiply.
+}
+
+// NewSponge builds a Cerjan sponge of the given width for dims (nx,ny,nz)
+// with damping strength alpha (classic value 0.015-0.092; we default callers
+// to 0.05 for ~60-95% round-trip absorption at typical widths).
+func NewSponge(nx, ny, nz, width int, alpha float64) *Sponge {
+	return NewSpongeGlobal(nx, ny, nz, width, alpha, 0, 0, nx, ny, nz)
+}
+
+// NewSpongeGlobal builds the sponge for a local block of (nx,ny,nz) points
+// at offset (i0,j0) inside a global (gnx,gny,gnz) mesh, so that MPI-
+// decomposed runs damp exactly the same global boundary zones as a serial
+// run (interior ranks get no damping from faces they do not own).
+func NewSpongeGlobal(gnx, gny, gnz, width int, alpha float64, i0, j0, nx, ny, nz int) *Sponge {
+	s := &Sponge{Width: width}
+	s.D.Nx, s.D.Ny, s.D.Nz = nx, ny, nz
+	s.damp = make([]float32, nx*ny*nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				d := 1.0
+				d *= cerjan(i0+i, gnx, width, alpha, true, true)
+				d *= cerjan(j0+j, gny, width, alpha, true, true)
+				d *= cerjan(k, gnz, width, alpha, false, true) // no damping at the free surface
+				s.damp[(i*ny+j)*nz+k] = float32(d)
+			}
+		}
+	}
+	return s
+}
+
+// cerjan returns the 1D damping factor for index v on an axis of length n.
+func cerjan(v, n, width int, alpha float64, lowSide, highSide bool) float64 {
+	d := 1.0
+	if lowSide && v < width {
+		t := float64(width-v) / float64(width)
+		d *= math.Exp(-(alpha * t) * (alpha * t) * 100)
+	}
+	if highSide && v >= n-width {
+		t := float64(v-(n-width-1)) / float64(width)
+		d *= math.Exp(-(alpha * t) * (alpha * t) * 100)
+	}
+	return d
+}
+
+// Factor returns the damping factor at interior point (i,j,k).
+func (s *Sponge) Factor(i, j, k int) float32 {
+	return s.damp[(i*s.D.Ny+j)*s.D.Nz+k]
+}
+
+// Apply multiplies all nine dynamic fields by the damping profile over the
+// z-range [k0,k1).
+func (s *Sponge) Apply(wf *Wavefield, k0, k1 int) {
+	fields := wf.AllFields()
+	for i := 0; i < s.D.Nx; i++ {
+		for j := 0; j < s.D.Ny; j++ {
+			dRow := s.damp[(i*s.D.Ny+j)*s.D.Nz:]
+			for _, f := range fields {
+				row := f.Row(i, j)
+				for k := k0; k < k1; k++ {
+					row[k] *= dRow[k]
+				}
+			}
+		}
+	}
+}

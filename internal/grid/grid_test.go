@@ -1,0 +1,384 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFieldShape(t *testing.T) {
+	f := NewField(Dims{4, 5, 6}, 2)
+	want := (4 + 4) * (5 + 4) * (6 + 4)
+	if len(f.Data) != want {
+		t.Fatalf("len(Data) = %d, want %d", len(f.Data), want)
+	}
+	if f.TotalDims() != (Dims{8, 9, 10}) {
+		t.Fatalf("TotalDims = %v", f.TotalDims())
+	}
+	if f.Bytes() != int64(want)*4 {
+		t.Fatalf("Bytes = %d", f.Bytes())
+	}
+}
+
+func TestDimsPoints(t *testing.T) {
+	d := Dims{40000, 39000, 5000}
+	if got := d.Points(); got != 7_800_000_000_000 {
+		t.Fatalf("paper extreme case: %d points, want 7.8 trillion", got)
+	}
+	if !d.Valid() {
+		t.Fatal("extreme dims should be valid")
+	}
+	if (Dims{0, 1, 1}).Valid() {
+		t.Fatal("zero extent must be invalid")
+	}
+}
+
+func TestIdxZFastest(t *testing.T) {
+	f := NewField(Dims{3, 3, 8}, 2)
+	if f.Idx(0, 0, 1)-f.Idx(0, 0, 0) != 1 {
+		t.Error("z must be the fastest axis (stride 1)")
+	}
+	if f.Idx(0, 1, 0)-f.Idx(0, 0, 0) != f.StrideY() {
+		t.Error("y stride mismatch")
+	}
+	if f.Idx(1, 0, 0)-f.Idx(0, 0, 0) != f.StrideX() {
+		t.Error("x stride mismatch")
+	}
+	if f.StrideX() <= f.StrideY() || f.StrideY() <= 1 {
+		t.Errorf("stride ordering wrong: sx=%d sy=%d", f.StrideX(), f.StrideY())
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	f := NewField(Dims{4, 4, 4}, 2)
+	f.Set(1, 2, 3, 42)
+	if f.At(1, 2, 3) != 42 {
+		t.Fatal("Set/At round trip failed")
+	}
+	f.Add(1, 2, 3, 8)
+	if f.At(1, 2, 3) != 50 {
+		t.Fatal("Add failed")
+	}
+	// halo addressing
+	f.Set(-1, -2, -2, 7)
+	if f.At(-1, -2, -2) != 7 {
+		t.Fatal("halo addressing failed")
+	}
+}
+
+func TestUniqueIndices(t *testing.T) {
+	f := NewField(Dims{3, 4, 5}, 1)
+	seen := map[int]bool{}
+	for i := -1; i < 4; i++ {
+		for j := -1; j < 5; j++ {
+			for k := -1; k < 6; k++ {
+				idx := f.Idx(i, j, k)
+				if idx < 0 || idx >= len(f.Data) {
+					t.Fatalf("index out of range at (%d,%d,%d): %d", i, j, k, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("duplicate index at (%d,%d,%d)", i, j, k)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != len(f.Data) {
+		t.Fatalf("covered %d of %d slots", len(seen), len(f.Data))
+	}
+}
+
+func TestFillInteriorLeavesHalo(t *testing.T) {
+	f := NewField(Dims{3, 3, 3}, 2)
+	f.Fill(-1)
+	f.FillInterior(5)
+	if f.At(0, 0, 0) != 5 || f.At(2, 2, 2) != 5 {
+		t.Fatal("interior not filled")
+	}
+	if f.At(-1, 0, 0) != -1 || f.At(0, 0, 3) != -1 {
+		t.Fatal("halo overwritten by FillInterior")
+	}
+}
+
+func TestRowViews(t *testing.T) {
+	f := NewField(Dims{2, 2, 6}, 2)
+	row := f.Row(1, 1)
+	if len(row) != 6 {
+		t.Fatalf("Row len %d", len(row))
+	}
+	row[3] = 9
+	if f.At(1, 1, 3) != 9 {
+		t.Fatal("Row is not a view")
+	}
+	rh := f.RowWithHalo(1, 1)
+	if len(rh) != 10 {
+		t.Fatalf("RowWithHalo len %d", len(rh))
+	}
+	if rh[2+3] != 9 {
+		t.Fatal("RowWithHalo offset wrong")
+	}
+}
+
+func TestCloneAndDiff(t *testing.T) {
+	f := NewField(Dims{4, 4, 4}, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := range f.Data {
+		f.Data[i] = rng.Float32()
+	}
+	g := f.Clone()
+	if !f.InteriorEqual(g, 0) {
+		t.Fatal("clone differs")
+	}
+	if f.L2Diff(g) != 0 {
+		t.Fatal("L2Diff of clone nonzero")
+	}
+	g.Set(0, 0, 0, g.At(0, 0, 0)+1)
+	if f.InteriorEqual(g, 0.5) {
+		t.Fatal("InteriorEqual missed difference")
+	}
+	if f.L2Diff(g) <= 0 {
+		t.Fatal("L2Diff missed difference")
+	}
+}
+
+func TestMinMaxMaxAbs(t *testing.T) {
+	f := NewField(Dims{3, 3, 3}, 1)
+	f.Fill(100) // halo values must not leak into interior stats
+	f.FillInterior(0)
+	f.Set(1, 1, 1, -7)
+	f.Set(2, 2, 2, 3)
+	lo, hi := f.MinMax()
+	if lo != -7 || hi != 3 {
+		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+	if f.MaxAbs() != 7 {
+		t.Fatalf("MaxAbs = %v", f.MaxAbs())
+	}
+}
+
+func TestPackUnpackHaloRoundTrip(t *testing.T) {
+	for _, face := range []Face{FaceXMinus, FaceXPlus, FaceYMinus, FaceYPlus} {
+		a := NewField(Dims{5, 6, 7}, 2)
+		b := NewField(Dims{5, 6, 7}, 2)
+		rng := rand.New(rand.NewSource(2))
+		for i := range a.Data {
+			a.Data[i] = rng.Float32()
+		}
+		buf := make([]float32, a.HaloLen(face))
+		a.PackHalo(face, buf)
+		b.UnpackHalo(face.Opposite(), buf)
+
+		// b's ghost layers on the opposite face must equal a's boundary layers.
+		switch face {
+		case FaceXPlus:
+			for di := 0; di < 2; di++ {
+				for j := 0; j < 6; j++ {
+					for k := 0; k < 7; k++ {
+						if b.At(-2+di, j, k) != a.At(5-2+di, j, k) {
+							t.Fatalf("face %v ghost mismatch", face)
+						}
+					}
+				}
+			}
+		case FaceYPlus:
+			for dj := 0; dj < 2; dj++ {
+				for i := 0; i < 5; i++ {
+					if b.At(i, -2+dj, 0) != a.At(i, 6-2+dj, 0) {
+						t.Fatalf("face %v ghost mismatch", face)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHaloLenMatchesBuffer(t *testing.T) {
+	f := NewField(Dims{4, 5, 6}, 2)
+	wantX := 2 * (5 + 4) * (6 + 4)
+	if f.HaloLen(FaceXMinus) != wantX {
+		t.Fatalf("HaloLen x = %d want %d", f.HaloLen(FaceXMinus), wantX)
+	}
+	wantY := 2 * (4 + 4) * (6 + 4)
+	if f.HaloLen(FaceYPlus) != wantY {
+		t.Fatalf("HaloLen y = %d want %d", f.HaloLen(FaceYPlus), wantY)
+	}
+}
+
+func TestCopyHaloFromNeighbor(t *testing.T) {
+	left := NewField(Dims{4, 4, 4}, 2)
+	right := NewField(Dims{4, 4, 4}, 2)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				left.Set(i, j, k, float32(100+i))
+				right.Set(i, j, k, float32(200+i))
+			}
+		}
+	}
+	// right neighbour sits on the x+ side of left
+	left.CopyHaloFromNeighbor(FaceXPlus, right)
+	if left.At(4, 1, 1) != 200 || left.At(5, 1, 1) != 201 {
+		t.Fatalf("ghost from right neighbour wrong: %v %v", left.At(4, 1, 1), left.At(5, 1, 1))
+	}
+	right.CopyHaloFromNeighbor(FaceXMinus, left)
+	if right.At(-1, 1, 1) != 103 || right.At(-2, 1, 1) != 102 {
+		t.Fatalf("ghost from left neighbour wrong: %v %v", right.At(-1, 1, 1), right.At(-2, 1, 1))
+	}
+}
+
+func TestFaceOpposite(t *testing.T) {
+	for _, f := range []Face{FaceXMinus, FaceXPlus, FaceYMinus, FaceYPlus} {
+		if f.Opposite().Opposite() != f {
+			t.Fatalf("Opposite not involutive for %v", f)
+		}
+		if f.Opposite() == f {
+			t.Fatalf("Opposite fixed point for %v", f)
+		}
+		if f.String() == "?" {
+			t.Fatalf("missing String for %v", int(f))
+		}
+	}
+}
+
+func TestExtractInsertSubfield(t *testing.T) {
+	f := NewField(Dims{8, 8, 8}, 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := range f.Data {
+		f.Data[i] = rng.Float32()
+	}
+	sub := f.ExtractSubfield(2, 2, 2, Dims{4, 4, 4}, 2)
+	// interior matches
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 4; k++ {
+				if sub.At(i, j, k) != f.At(2+i, 2+j, 2+k) {
+					t.Fatal("subfield interior mismatch")
+				}
+			}
+		}
+	}
+	// halo of subfield filled from parent interior
+	if sub.At(-1, 0, 0) != f.At(1, 2, 2) {
+		t.Fatal("subfield halo not filled from parent")
+	}
+	g := NewField(Dims{8, 8, 8}, 2)
+	g.InsertSubfield(2, 2, 2, sub)
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 4; k++ {
+			if g.At(2+i, 3, 2+k) != f.At(2+i, 3, 2+k) {
+				t.Fatal("InsertSubfield mismatch")
+			}
+		}
+	}
+	if g.At(0, 0, 0) != 0 {
+		t.Fatal("InsertSubfield wrote outside target region")
+	}
+}
+
+func TestVecFieldBasics(t *testing.T) {
+	f := NewVecField(Dims{3, 3, 4}, 2, 6)
+	f.Set(1, 2, 3, 4, 9)
+	if f.At(1, 2, 3, 4) != 9 {
+		t.Fatal("VecField Set/At failed")
+	}
+	p := f.Point(1, 2, 3)
+	if len(p) != 6 || p[4] != 9 {
+		t.Fatal("Point view wrong")
+	}
+	p[0] = 1
+	if f.At(1, 2, 3, 0) != 1 {
+		t.Fatal("Point not a view")
+	}
+	if f.Bytes() != int64(len(f.Data))*4 {
+		t.Fatal("Bytes wrong")
+	}
+}
+
+func TestVecFieldComponentsAdjacent(t *testing.T) {
+	f := NewVecField(Dims{2, 2, 2}, 1, 3)
+	if f.Idx(0, 0, 0, 1)-f.Idx(0, 0, 0, 0) != 1 {
+		t.Fatal("components must be adjacent (fusion layout)")
+	}
+	if f.Idx(0, 0, 1, 0)-f.Idx(0, 0, 0, 0) != 3 {
+		t.Fatal("z stride must be NC elements")
+	}
+}
+
+func TestFuseUnfuseRoundTrip(t *testing.T) {
+	d := Dims{3, 4, 5}
+	u := NewField(d, 2)
+	v := NewField(d, 2)
+	w := NewField(d, 2)
+	rng := rand.New(rand.NewSource(4))
+	for i := range u.Data {
+		u.Data[i], v.Data[i], w.Data[i] = rng.Float32(), rng.Float32(), rng.Float32()
+	}
+	fused := FuseFields(u, v, w)
+	if fused.NC != 3 {
+		t.Fatalf("NC = %d", fused.NC)
+	}
+	if fused.At(1, 2, 3, 1) != v.At(1, 2, 3) {
+		t.Fatal("fusion misplaced component")
+	}
+	parts := fused.Unfuse()
+	for c, orig := range []*Field{u, v, w} {
+		if !parts[c].InteriorEqual(orig, 0) {
+			t.Fatalf("unfuse component %d mismatch", c)
+		}
+	}
+}
+
+func TestDMABlockBytesFusionEffect(t *testing.T) {
+	d := Dims{8, 8, 32}
+	single := NewVecField(d, 2, 1)
+	vel := NewVecField(d, 2, 3)
+	str := NewVecField(d, 2, 6)
+	wz := 32
+	if single.DMABlockBytes(wz) != 128 {
+		t.Fatalf("unfused block = %d, want 128", single.DMABlockBytes(wz))
+	}
+	// Paper §6.4: fusion raises the chunk from 128 B to 384/768 B for the
+	// same Wz, crossing the ~512 B knee of the DMA bandwidth curve.
+	if vel.DMABlockBytes(wz) != 384 || str.DMABlockBytes(wz) != 768 {
+		t.Fatalf("fused blocks = %d,%d", vel.DMABlockBytes(wz), str.DMABlockBytes(wz))
+	}
+}
+
+func TestQuickIdxBijective(t *testing.T) {
+	f := NewField(Dims{6, 7, 8}, 2)
+	fn := func(i8, j8, k8 uint8) bool {
+		i := int(i8%10) - 2
+		j := int(j8%11) - 2
+		k := int(k8%12) - 2
+		idx := f.Idx(i, j, k)
+		// invert
+		rem := idx
+		ri := rem/f.StrideX() - f.H
+		rem %= f.StrideX()
+		rj := rem/f.StrideY() - f.H
+		rk := rem%f.StrideY() - f.H
+		return ri == i && rj == j && rk == k
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFuseIsLossless(t *testing.T) {
+	fn := func(vals []float32) bool {
+		d := Dims{2, 2, 3}
+		a := NewField(d, 1)
+		b := NewField(d, 1)
+		for i := range a.Data {
+			if len(vals) > 0 {
+				a.Data[i] = vals[i%len(vals)]
+				b.Data[i] = -vals[i%len(vals)]
+			}
+		}
+		parts := FuseFields(a, b).Unfuse()
+		return parts[0].InteriorEqual(a, 0) && parts[1].InteriorEqual(b, 0)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

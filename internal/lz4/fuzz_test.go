@@ -1,0 +1,45 @@
+package lz4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the decompressor: it must never
+// panic or read/write out of bounds, only return data or ErrCorrupt.
+// (Run with `go test -fuzz=FuzzDecompress`; the seeds run in normal tests.)
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x40, 'a', 'b', 'c', 'd', 1, 0})
+	f.Add(CompressAlloc([]byte("the quick brown fox jumps over the lazy dog")))
+	f.Add(CompressAlloc(bytes.Repeat([]byte{0}, 1000)))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := make([]byte, 4096)
+		n, err := Decompress(dst, data)
+		if err == nil && (n < 0 || n > len(dst)) {
+			t.Fatalf("wrote %d bytes into %d buffer", n, len(dst))
+		}
+	})
+}
+
+// FuzzRoundTrip checks compress->decompress identity on arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp := CompressAlloc(data)
+		if len(comp) > CompressBound(len(data)) {
+			t.Fatalf("compressed %d exceeds bound %d", len(comp), CompressBound(len(data)))
+		}
+		out, err := DecompressAlloc(comp, len(data))
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

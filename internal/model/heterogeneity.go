@@ -1,0 +1,73 @@
+package model
+
+import "math/rand"
+
+// Stochastic small-scale heterogeneity. Community velocity models (like
+// the paper's north-China model) resolve only kilometre-scale structure;
+// high-frequency simulations conventionally superpose a correlated random
+// perturbation field on top, which scatters energy into the coda. This is
+// a simple smoothed-noise implementation: white noise on a coarse lattice,
+// trilinearly interpolated (correlation length = lattice spacing), scaling
+// Vp and Vs together (density follows with half the relative amplitude,
+// Birch-law-style), clamped so materials stay valid.
+
+// Heterogeneous wraps a base model with a correlated perturbation field.
+type Heterogeneous struct {
+	Base Model
+	// Amplitude is the RMS fractional velocity perturbation (e.g. 0.05).
+	Amplitude float64
+	// CorrLen is the correlation length in meters.
+	CorrLen float64
+	// Seed makes the field reproducible.
+	Seed int64
+
+	noise *GridModel // lazily built lattice of perturbation factors
+}
+
+// NewHeterogeneous builds the perturbation lattice covering a domain of
+// (lx, ly, lz) meters.
+func NewHeterogeneous(base Model, amplitude, corrLen, lx, ly, lz float64, seed int64) *Heterogeneous {
+	h := &Heterogeneous{Base: base, Amplitude: amplitude, CorrLen: corrLen, Seed: seed}
+	nx := int(lx/corrLen) + 2
+	ny := int(ly/corrLen) + 2
+	nz := int(lz/corrLen) + 2
+	rng := rand.New(rand.NewSource(seed))
+	g := &GridModel{
+		NX: nx, NY: ny, NZ: nz,
+		DX: corrLen, DY: corrLen, DZ: corrLen,
+		Vp:  make([]float64, nx*ny*nz),
+		Vs:  make([]float64, nx*ny*nz),
+		Rho: make([]float64, nx*ny*nz),
+	}
+	for i := range g.Vp {
+		p := rng.NormFloat64() * amplitude
+		// clamp at 3 sigma to keep materials valid
+		if p > 3*amplitude {
+			p = 3 * amplitude
+		}
+		if p < -3*amplitude {
+			p = -3 * amplitude
+		}
+		g.Vp[i] = p
+		g.Vs[i] = p
+		g.Rho[i] = p / 2
+	}
+	h.noise = g
+	return h
+}
+
+// Sample perturbs the base material.
+func (h *Heterogeneous) Sample(x, y, z float64) Material {
+	m := h.Base.Sample(x, y, z)
+	p := h.noise.Sample(x, y, z) // interpolated perturbation triple
+	out := Material{
+		Vp:  m.Vp * (1 + p.Vp),
+		Vs:  m.Vs * (1 + p.Vs),
+		Rho: m.Rho * (1 + p.Rho),
+	}
+	// guard Poisson validity: keep Vp >= sqrt(2) Vs
+	if out.Vp*out.Vp < 2*out.Vs*out.Vs {
+		out.Vp = out.Vs * 1.42
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeterogeneousStatistics(t *testing.T) {
+	base := Homogeneous{M: Material{Vp: 6000, Vs: 3400, Rho: 2700}}
+	h := NewHeterogeneous(base, 0.05, 500, 10e3, 10e3, 5e3, 42)
+
+	var sum, sum2 float64
+	n := 0
+	for x := 0.0; x < 10e3; x += 173 {
+		for z := 0.0; z < 5e3; z += 257 {
+			m := h.Sample(x, x/2, z)
+			if !m.Valid() {
+				t.Fatalf("invalid perturbed material at (%g,%g): %v", x, z, m)
+			}
+			f := m.Vs/3400 - 1
+			sum += f
+			sum2 += f * f
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("perturbation mean %g not ~0", mean)
+	}
+	// interpolation smooths white noise; std lands below the lattice RMS
+	if std < 0.015 || std > 0.05 {
+		t.Fatalf("perturbation std %g outside (0.015, 0.05)", std)
+	}
+}
+
+func TestHeterogeneousReproducible(t *testing.T) {
+	base := Homogeneous{M: Material{Vp: 6000, Vs: 3400, Rho: 2700}}
+	a := NewHeterogeneous(base, 0.05, 500, 5e3, 5e3, 2e3, 7)
+	b := NewHeterogeneous(base, 0.05, 500, 5e3, 5e3, 2e3, 7)
+	c := NewHeterogeneous(base, 0.05, 500, 5e3, 5e3, 2e3, 8)
+	if a.Sample(1234, 987, 456) != b.Sample(1234, 987, 456) {
+		t.Fatal("same seed differs")
+	}
+	if a.Sample(1234, 987, 456) == c.Sample(1234, 987, 456) {
+		t.Fatal("different seeds agree")
+	}
+}
+
+func TestHeterogeneousCorrelation(t *testing.T) {
+	// points much closer than the correlation length see nearly the same
+	// perturbation; points far apart see independent ones
+	base := Homogeneous{M: Material{Vp: 6000, Vs: 3400, Rho: 2700}}
+	h := NewHeterogeneous(base, 0.05, 1000, 20e3, 20e3, 5e3, 3)
+	var closeDiff, farDiff float64
+	n := 0
+	for x := 1000.0; x < 18e3; x += 977 {
+		a := h.Sample(x, 5000, 2000).Vs
+		b := h.Sample(x+20, 5000, 2000).Vs   // 2% of corr length
+		c := h.Sample(x+5000, 5000, 2000).Vs // 5 corr lengths
+		closeDiff += math.Abs(a - b)
+		farDiff += math.Abs(a - c)
+		n++
+	}
+	if closeDiff/float64(n) > farDiff/float64(n)/3 {
+		t.Fatalf("no spatial correlation: close %g vs far %g", closeDiff/float64(n), farDiff/float64(n))
+	}
+}
+
+func TestHeterogeneousKeepsValidityOnSoftSediment(t *testing.T) {
+	// strong perturbations on a low-Vp material must not produce
+	// negative-lambda materials
+	base := Homogeneous{M: Material{Vp: 900, Vs: 600, Rho: 1800}}
+	h := NewHeterogeneous(base, 0.15, 300, 3e3, 3e3, 1e3, 11)
+	for x := 0.0; x < 3e3; x += 111 {
+		m := h.Sample(x, x, 500)
+		if !m.Valid() {
+			t.Fatalf("invalid material %v", m)
+		}
+	}
+}
+
+func TestHeterogeneousSolverIntegration(t *testing.T) {
+	// the perturbed model must be usable end to end by the medium sampler
+	base := TangshanCrust()
+	h := NewHeterogeneous(base, 0.05, 800, 4e3, 4e3, 3e3, 5)
+	for _, z := range []float64{0, 1500, 2900} {
+		if !h.Sample(2000, 2000, z).Valid() {
+			t.Fatal("invalid sample")
+		}
+	}
+}

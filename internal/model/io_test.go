@@ -1,0 +1,83 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestGridModelRoundTrip(t *testing.T) {
+	src := NewGridModel(TangshanBasin(), 8, 8, 6, TangshanLX/7, TangshanLY/7, TangshanLZ/5)
+	var buf bytes.Buffer
+	if err := src.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGridModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NX != src.NX || got.NY != src.NY || got.NZ != src.NZ {
+		t.Fatalf("dims %d %d %d", got.NX, got.NY, got.NZ)
+	}
+	if got.DX != src.DX || got.DZ != src.DZ {
+		t.Fatal("spacings differ")
+	}
+	for i := range src.Vp {
+		// float32 round trip of float64 values
+		if math.Abs(got.Vp[i]-src.Vp[i]) > math.Abs(src.Vp[i])*1e-6 {
+			t.Fatalf("Vp[%d] %g vs %g", i, got.Vp[i], src.Vp[i])
+		}
+	}
+	// interpolation still works on the loaded model
+	a := src.Sample(1e5, 1e5, 500)
+	b := got.Sample(1e5, 1e5, 500)
+	if math.Abs(a.Vs-b.Vs) > 1 {
+		t.Fatalf("sampled Vs %g vs %g", b.Vs, a.Vs)
+	}
+}
+
+func TestGridModelFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.swvm")
+	src := NewGridModel(TangshanCrust(), 4, 4, 8, 1e4, 1e4, 5e3)
+	if err := SaveGridModel(path, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGridModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinVs() != src.MinVs() {
+		t.Fatal("MinVs differs after file round trip")
+	}
+	if _, err := LoadGridModel(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadGridModelRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0}, 44),        // zero magic
+		append(validHeader(2, 2, 2), 0x01), // truncated data
+		validHeader(0, 2, 2),               // zero extent
+		append(validHeader(1, 1, 1), zeros(3*4)...), // invalid material (all zero)
+	}
+	for i, data := range cases {
+		if _, err := ReadGridModel(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func validHeader(nx, ny, nz int) []byte {
+	var buf bytes.Buffer
+	g := &GridModel{NX: nx, NY: ny, NZ: nz, DX: 1, DY: 1, DZ: 1,
+		Vp: zerosF(nx * ny * nz), Vs: zerosF(nx * ny * nz), Rho: zerosF(nx * ny * nz)}
+	_ = g.Write(&buf)
+	return buf.Bytes()[:44]
+}
+
+func zeros(n int) []byte     { return make([]byte, n) }
+func zerosF(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,85 @@
+package model
+
+// Tangshan-like synthetic scenario. The paper simulates a 320 km x 312 km x
+// 40 km region of north China around the 1976 M7.8 Tangshan earthquake,
+// with a community velocity model and an 800 m-deep sediment basin
+// (Fig. 10a). The real model is not public; this file builds a synthetic
+// stand-in with the same qualitative structure — a three-layer crust over a
+// half-space and a compound low-velocity basin — so that the basin
+// amplification and nonlinear shallow response the paper studies (Fig. 11)
+// are exercised by the same code paths.
+
+// TangshanRegion are the paper's physical domain extents in meters.
+const (
+	TangshanLX = 320e3
+	TangshanLY = 312e3
+	TangshanLZ = 40e3
+)
+
+// TangshanCrust returns the synthetic layered crustal background:
+// near-surface rock, upper crust, lower crust, and upper-mantle half-space.
+func TangshanCrust() *Layered {
+	l, err := NewLayered([]Layer{
+		{Top: 0, M: Material{Vp: 4500, Vs: 2600, Rho: 2400}},
+		{Top: 2e3, M: Material{Vp: 5800, Vs: 3350, Rho: 2700}},
+		{Top: 15e3, M: Material{Vp: 6500, Vs: 3750, Rho: 2850}},
+		{Top: 30e3, M: Material{Vp: 7800, Vs: 4400, Rho: 3300}},
+	})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return l
+}
+
+// TangshanSediment is the soft basin fill whose nonlinear response the
+// paper's plasticity model targets.
+var TangshanSediment = Material{Vp: 1800, Vs: 600, Rho: 2000}
+
+// TangshanBasin returns the full synthetic scenario model: layered crust
+// with a compound sediment basin (two overlapping bowls along the
+// Tangshan-Tianjin axis and a coastal bowl, max depth 800 m as in
+// Fig. 10a), graded into the bedrock over the bottom 30% of the fill.
+func TangshanBasin() *Basin {
+	return &Basin{
+		Background: TangshanCrust(),
+		Sediment:   TangshanSediment,
+		GradeDepth: 0.3,
+		Bowls: []Bowl{
+			{CX: 0.55 * TangshanLX, CY: 0.45 * TangshanLY, RadiusX: 60e3, RadiusY: 45e3, MaxDepth: 800},
+			{CX: 0.35 * TangshanLX, CY: 0.35 * TangshanLY, RadiusX: 50e3, RadiusY: 40e3, MaxDepth: 650},
+			{CX: 0.7 * TangshanLX, CY: 0.25 * TangshanLY, RadiusX: 45e3, RadiusY: 35e3, MaxDepth: 700},
+		},
+	}
+}
+
+// ScaledTangshan returns the Tangshan basin model rescaled onto a smaller
+// physical domain (lx x ly x lz meters) so that laptop-sized meshes keep the
+// same relative geometry: basin under mid-domain, crustal layers compressed
+// proportionally.
+func ScaledTangshan(lx, ly, lz float64) *Basin {
+	sx, sy, sz := lx/TangshanLX, ly/TangshanLY, lz/TangshanLZ
+	crust := TangshanCrust()
+	scaled := make([]Layer, len(crust.Layers))
+	for i, l := range crust.Layers {
+		scaled[i] = Layer{Top: l.Top * sz, M: l.M}
+	}
+	bg, err := NewLayered(scaled)
+	if err != nil {
+		panic(err)
+	}
+	full := TangshanBasin()
+	bowls := make([]Bowl, len(full.Bowls))
+	for i, b := range full.Bowls {
+		bowls[i] = Bowl{
+			CX: b.CX * sx, CY: b.CY * sy,
+			RadiusX: b.RadiusX * sx, RadiusY: b.RadiusY * sy,
+			MaxDepth: b.MaxDepth * sz,
+		}
+	}
+	return &Basin{
+		Background: bg,
+		Sediment:   TangshanSediment,
+		GradeDepth: full.GradeDepth,
+		Bowls:      bowls,
+	}
+}

@@ -1,0 +1,81 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives used by the I/O and gather paths. All ranks must
+// call the same collective in the same order (standard MPI discipline).
+
+// bcastTag and gatherTag live in a reserved tag space far above the halo
+// exchange tags.
+const (
+	bcastTag  = 1 << 30
+	gatherTag = 1<<30 + 1
+)
+
+// Bcast distributes root's data to every rank; each rank returns its copy.
+// The root passes the payload, other ranks pass nil.
+func (r *Rank) Bcast(root int, data []float32) []float32 {
+	if root < 0 || root >= r.w.size {
+		panic(fmt.Sprintf("mpi: bcast root %d invalid", root))
+	}
+	if r.id == root {
+		for dst := 0; dst < r.w.size; dst++ {
+			if dst != root {
+				r.Send(dst, bcastTag, data)
+			}
+		}
+		cp := make([]float32, len(data))
+		copy(cp, data)
+		return cp
+	}
+	return r.Recv(root, bcastTag)
+}
+
+// Gather collects each rank's data at root, indexed by rank. Non-root
+// ranks receive nil.
+func (r *Rank) Gather(root int, data []float32) [][]float32 {
+	if root < 0 || root >= r.w.size {
+		panic(fmt.Sprintf("mpi: gather root %d invalid", root))
+	}
+	if r.id != root {
+		r.Send(root, gatherTag, data)
+		return nil
+	}
+	out := make([][]float32, r.w.size)
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for src := 0; src < r.w.size; src++ {
+		if src != root {
+			out[src] = r.Recv(src, gatherTag)
+		}
+	}
+	return out
+}
+
+// Alltoall sends data[i] to rank i and returns what every rank sent here.
+// Each rank passes exactly Size() slices.
+func (r *Rank) Alltoall(data [][]float32) [][]float32 {
+	if len(data) != r.w.size {
+		panic(fmt.Sprintf("mpi: alltoall needs %d slices, got %d", r.w.size, len(data)))
+	}
+	reqs := make([]*Request, 0, r.w.size-1)
+	for dst := 0; dst < r.w.size; dst++ {
+		if dst != r.id {
+			reqs = append(reqs, r.Isend(dst, gatherTag+2+r.id, data[dst]))
+		}
+	}
+	out := make([][]float32, r.w.size)
+	cp := make([]float32, len(data[r.id]))
+	copy(cp, data[r.id])
+	out[r.id] = cp
+	for src := 0; src < r.w.size; src++ {
+		if src != r.id {
+			out[src] = r.Recv(src, gatherTag+2+src)
+		}
+	}
+	for _, q := range reqs {
+		q.Wait()
+	}
+	return out
+}

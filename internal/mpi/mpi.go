@@ -1,0 +1,222 @@
+// Package mpi is an in-process message-passing runtime that stands in for
+// MPI in the paper's 2D process decomposition (§6.3 step 1). Ranks are
+// goroutines; point-to-point messages travel over per-pair ordered channels
+// and collectives synchronize through a shared reduction cell. The API is a
+// deliberately small MPI subset: Send/Recv, non-blocking Isend/Irecv (which
+// is what lets the solver overlap halo communication with interior
+// computation, the overlap AWP-ODC is known for), Barrier and Allreduce.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World owns the communication state for a fixed number of ranks.
+type World struct {
+	size   int
+	queues []chan message // queues[src*size+dst]
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     int
+
+	redSum []float64
+	redMax float64
+	// redMaxOut double-buffers completed reductions by generation parity:
+	// a rank that raced ahead into generation g+1 writes the other slot, and
+	// generation g+2 cannot begin until every rank has left generation g.
+	redMaxOut [2]float64
+}
+
+type message struct {
+	tag  int
+	data []float32
+}
+
+// queueCap bounds in-flight messages per (src,dst) pair. Halo exchange
+// posts at most a handful of outstanding messages per neighbour.
+const queueCap = 64
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic("mpi: non-positive world size")
+	}
+	w := &World{
+		size:   size,
+		queues: make([]chan message, size*size),
+	}
+	for i := range w.queues {
+		w.queues[i] = make(chan message, queueCap)
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn concurrently on every rank and waits for all to finish.
+func (w *World) Run(fn func(r *Rank)) {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for id := 0; id < w.size; id++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(&Rank{id: id, w: w})
+		}(id)
+	}
+	wg.Wait()
+}
+
+// Rank is one process's handle to the world.
+type Rank struct {
+	id int
+	w  *World
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.size }
+
+// Send delivers a copy of data to dst with the given tag. It blocks only if
+// the (src,dst) queue is full.
+func (r *Rank) Send(dst, tag int, data []float32) {
+	if dst < 0 || dst >= r.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: cp}
+}
+
+// Recv receives the next message from src, which must carry the expected
+// tag (messages between a pair are ordered, so a tag mismatch is a protocol
+// bug, reported by panic).
+func (r *Rank) Recv(src, tag int) []float32 {
+	if src < 0 || src >= r.w.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	m := <-r.w.queues[src*r.w.size+r.id]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", r.id, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	done chan []float32
+}
+
+// Wait blocks until the operation completes, returning received data for
+// Irecv (nil for Isend).
+func (q *Request) Wait() []float32 {
+	return <-q.done
+}
+
+// Isend starts a non-blocking send and returns immediately.
+func (r *Rank) Isend(dst, tag int, data []float32) *Request {
+	req := &Request{done: make(chan []float32, 1)}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	go func() {
+		r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: cp}
+		req.done <- nil
+	}()
+	return req
+}
+
+// Irecv starts a non-blocking receive.
+func (r *Rank) Irecv(src, tag int) *Request {
+	req := &Request{done: make(chan []float32, 1)}
+	go func() {
+		m := <-r.w.queues[src*r.w.size+r.id]
+		if m.tag != tag {
+			panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", r.id, tag, src, m.tag))
+		}
+		req.done <- m.data
+	}()
+	return req
+}
+
+// Barrier blocks until every rank has called it.
+func (r *Rank) Barrier() {
+	w := r.w
+	w.mu.Lock()
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for gen == w.gen {
+			w.cond.Wait()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// AllreduceSum sums vals elementwise across all ranks; every rank receives
+// the full result. All ranks must pass slices of equal length.
+func (r *Rank) AllreduceSum(vals []float64) []float64 {
+	w := r.w
+	w.mu.Lock()
+	if w.arrived == 0 {
+		w.redSum = make([]float64, len(vals))
+	}
+	if len(w.redSum) != len(vals) {
+		w.mu.Unlock()
+		panic("mpi: AllreduceSum length mismatch across ranks")
+	}
+	for i, v := range vals {
+		w.redSum[i] += v
+	}
+	out := w.redSum
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for gen == w.gen {
+			w.cond.Wait()
+		}
+	}
+	res := make([]float64, len(out))
+	copy(res, out)
+	w.mu.Unlock()
+	return res
+}
+
+// AllreduceMax returns the maximum of v across all ranks.
+func (r *Rank) AllreduceMax(v float64) float64 {
+	w := r.w
+	w.mu.Lock()
+	if w.arrived == 0 {
+		w.redMax = v
+	} else if v > w.redMax {
+		w.redMax = v
+	}
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		w.redMaxOut[gen%2] = w.redMax
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for gen == w.gen {
+			w.cond.Wait()
+		}
+	}
+	res := w.redMaxOut[gen%2]
+	w.mu.Unlock()
+	return res
+}

@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecvPair(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, []float32{1, 2, 3})
+		} else {
+			got := r.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("recv got %v", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			buf := []float32{5}
+			r.Send(1, 0, buf)
+			buf[0] = 99 // mutation after send must not reach the receiver
+			r.Barrier()
+		} else {
+			r.Barrier()
+			if got := r.Recv(0, 0); got[0] != 5 {
+				t.Errorf("send did not copy: %v", got)
+			}
+		}
+	})
+}
+
+func TestMessagesOrdered(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 10; i++ {
+				r.Send(1, i, []float32{float32(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if got := r.Recv(0, i); got[0] != float32(i) {
+					t.Errorf("message %d out of order: %v", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	// the overlap pattern the halo exchange uses: post all requests, do
+	// "interior work", then wait.
+	w := NewWorld(4)
+	w.Run(func(r *Rank) {
+		left := (r.ID() + 3) % 4
+		right := (r.ID() + 1) % 4
+		sreq := r.Isend(right, 1, []float32{float32(r.ID())})
+		rreq := r.Irecv(left, 1)
+		// interior work would happen here
+		got := rreq.Wait()
+		sreq.Wait()
+		if got[0] != float32(left) {
+			t.Errorf("rank %d got %v from %d", r.ID(), got, left)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var before, after int32
+	w := NewWorld(8)
+	w.Run(func(r *Rank) {
+		atomic.AddInt32(&before, 1)
+		r.Barrier()
+		if atomic.LoadInt32(&before) != 8 {
+			t.Error("barrier released before all ranks arrived")
+		}
+		atomic.AddInt32(&after, 1)
+		r.Barrier()
+		if atomic.LoadInt32(&after) != 8 {
+			t.Error("second barrier released early")
+		}
+	})
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(r *Rank) {
+		got := r.AllreduceSum([]float64{float64(r.ID()), 1})
+		if got[0] != 15 { // 0+1+..+5
+			t.Errorf("sum[0] = %v", got[0])
+		}
+		if got[1] != 6 {
+			t.Errorf("sum[1] = %v", got[1])
+		}
+	})
+}
+
+func TestAllreduceSumRepeated(t *testing.T) {
+	// back-to-back reductions must not bleed into each other
+	w := NewWorld(4)
+	w.Run(func(r *Rank) {
+		for round := 1; round <= 20; round++ {
+			got := r.AllreduceSum([]float64{float64(round)})
+			if got[0] != float64(4*round) {
+				t.Errorf("round %d: got %v", round, got[0])
+			}
+		}
+	})
+}
+
+func TestAllreduceMax(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(r *Rank) {
+		got := r.AllreduceMax(float64(r.ID() * r.ID()))
+		if got != 16 {
+			t.Errorf("max = %v", got)
+		}
+		// second round with different values
+		got = r.AllreduceMax(-float64(r.ID()))
+		if got != 0 {
+			t.Errorf("second max = %v", got)
+		}
+	})
+}
+
+func TestWorldSizeOne(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(r *Rank) {
+		r.Barrier()
+		if got := r.AllreduceMax(3); got != 3 {
+			t.Errorf("singleton max %v", got)
+		}
+		if got := r.AllreduceSum([]float64{2}); got[0] != 2 {
+			t.Errorf("singleton sum %v", got)
+		}
+	})
+	if w.Size() != 1 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestManyRanksRing(t *testing.T) {
+	// a 64-rank ring shift, the building block of the 2D halo exchange
+	n := 64
+	w := NewWorld(n)
+	w.Run(func(r *Rank) {
+		right := (r.ID() + 1) % n
+		left := (r.ID() + n - 1) % n
+		sreq := r.Isend(right, 0, []float32{float32(r.ID())})
+		got := r.Recv(left, 0)
+		sreq.Wait()
+		if got[0] != float32(left) {
+			t.Errorf("rank %d ring shift got %v", r.ID(), got)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package output
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swquake/internal/seismo"
+)
+
+func sampleTrace() *seismo.Trace {
+	return &seismo.Trace{
+		Station: seismo.Station{Name: "T", I: 1, J: 2, K: 0},
+		Dt:      0.01,
+		U:       []float32{0, 1, 2},
+		V:       []float32{0, -1, -2},
+		W:       []float32{0, 0, 0},
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "time,u,v,w") {
+		t.Fatal("header missing")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2+3 { // comment + header + 3 samples
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[3], "0.010000,") {
+		t.Fatalf("time column wrong: %s", lines[3])
+	}
+}
+
+func TestSaveTraceCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := SaveTraceCSV(path, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "station T") {
+		t.Fatal("station comment missing")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	field := [][]float64{{0, 0.5}, {1, 2}}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, field, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if !bytes.HasPrefix(b, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("header: %q", b[:12])
+	}
+	pix := b[len(b)-4:]
+	if pix[0] != 0 || pix[3] != 255 {
+		t.Fatalf("pixels %v", pix)
+	}
+	if pix[1] != 64 { // 0.5/2 * 255 = 63.75 -> 64
+		t.Fatalf("midpoint pixel %d", pix[1])
+	}
+}
+
+func TestWritePGMErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, nil, 0, 1); err == nil {
+		t.Fatal("empty field accepted")
+	}
+	if err := WritePGM(&buf, [][]float64{{1, 2}, {3}}, 0, 1); err == nil {
+		t.Fatal("ragged field accepted")
+	}
+}
+
+func TestPGVAndIntensityGrids(t *testing.T) {
+	p := seismo.NewPGVField(2, 3, 0)
+	p.PGV[0*3+1] = 1.0
+	g := PGVGrid(p)
+	if len(g) != 2 || len(g[0]) != 3 || g[0][1] != 1 {
+		t.Fatalf("grid %v", g)
+	}
+	ig := IntensityGrid(p)
+	if ig[0][1] < 9.7 || ig[0][1] > 9.9 {
+		t.Fatalf("intensity %v", ig[0][1])
+	}
+	if ig[1][2] != 1 {
+		t.Fatal("quiet cell intensity must clamp to 1")
+	}
+}
+
+func TestASCIIMap(t *testing.T) {
+	field := make([][]float64, 20)
+	for i := range field {
+		field[i] = make([]float64, 20)
+		field[i][10] = float64(i)
+	}
+	field[0][10] = 100 // peak on a row the downsampler keeps
+	var buf bytes.Buffer
+	ASCIIMap(&buf, field, 10)
+	s := buf.String()
+	if !strings.Contains(s, "range:") {
+		t.Fatal("range line missing")
+	}
+	if !strings.Contains(s, "@") {
+		t.Fatal("peak shade missing")
+	}
+}
+
+func TestWriteSpectrumCSV(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.HorizontalSpectrum()
+	var buf bytes.Buffer
+	if err := WriteSpectrumCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "freq_hz,amplitude") {
+		t.Fatal("header missing")
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(s.Amp)+1 {
+		t.Fatalf("%d lines for %d bins", lines, len(s.Amp))
+	}
+	path := filepath.Join(t.TempDir(), "s.csv")
+	if err := SaveSpectrumCSV(path, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

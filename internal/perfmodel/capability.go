@@ -1,0 +1,97 @@
+package perfmodel
+
+import (
+	"math"
+
+	"swquake/internal/sunway"
+)
+
+// Capability accounting: the paper's headline claims that compression
+// doubles the maximum problem size (3.99 -> 7.8 trillion points) and that
+// the extreme 18-Hz / 8-m Tangshan scenario becomes tractable.
+
+// Per-point memory footprint, backed out of the paper's own capacity
+// numbers (3.99e12 points in the uncompressed machine, 7.8e12 with
+// compression): ~60 float32-array-equivalents per point including halos,
+// attenuation memory, sponge and exchange buffers, of which nearly all
+// (the dynamic fields, plasticity state, media and attenuation arrays)
+// compress to 16 bits.
+const (
+	arraysTotal      = 60
+	arraysCompressed = 58
+)
+
+// BytesPerPoint returns the per-point memory footprint in bytes.
+func BytesPerPoint(compressed bool) float64 {
+	if !compressed {
+		return arraysTotal * 4
+	}
+	return float64(arraysTotal-arraysCompressed)*4 + arraysCompressed*2
+}
+
+// MaxProblemPoints returns the largest mesh (in points) that fits the
+// application-usable memory of the full machine.
+func MaxProblemPoints(compressed bool) float64 {
+	total := sunway.AvailableCGMemBytes() * sunway.TotalCGs
+	return total / BytesPerPoint(compressed)
+}
+
+// ProblemSizeGain is the factor by which compression enlarges the maximum
+// problem (the paper reports 3.99 -> 7.8 trillion points, ~1.95x).
+func ProblemSizeGain() float64 {
+	return MaxProblemPoints(true) / MaxProblemPoints(false)
+}
+
+// ExtremeCase describes the paper's headline run.
+type ExtremeCase struct {
+	Mesh       Mesh
+	Dx         float64 // m
+	SimSeconds float64 // simulated duration
+	Compressed bool
+	Nonlinear  bool
+	MaxVp      float64 // controls the CFL dt
+	TargetHz   float64
+}
+
+// PaperExtremeCase returns the 18-Hz / 8-m Tangshan configuration: the
+// 320 x 312 x 40 km domain at 8 m spacing (padded to the 400x400 process
+// grid), 120 simulated seconds, nonlinear with compression.
+func PaperExtremeCase() ExtremeCase {
+	return ExtremeCase{
+		Mesh:       Mesh{Nx: 40000, Ny: 39000, Nz: 5000},
+		Dx:         8,
+		SimSeconds: 120,
+		Compressed: true,
+		Nonlinear:  true,
+		MaxVp:      8000,
+		TargetHz:   18,
+	}
+}
+
+// Steps returns the number of time steps the case needs (CFL-limited dt).
+func (e ExtremeCase) Steps() int {
+	dt := 0.49 * e.Dx / e.MaxVp
+	return int(math.Ceil(e.SimSeconds / dt))
+}
+
+// Dt returns the CFL time step.
+func (e ExtremeCase) Dt() float64 { return 0.49 * e.Dx / e.MaxVp }
+
+// FitsMemory reports whether the mesh fits the machine.
+func (e ExtremeCase) FitsMemory() bool {
+	return float64(e.Mesh.Points()) <= MaxProblemPoints(e.Compressed)
+}
+
+// TimeToSolution estimates the wall-clock hours on procs processes.
+func (e ExtremeCase) TimeToSolution(procs int) float64 {
+	c := Case{Nonlinear: e.Nonlinear, Compressed: e.Compressed}
+	step := StrongStepSeconds(c, e.Mesh, procs)
+	return float64(e.Steps()) * step / 3600
+}
+
+// SustainedPflops estimates the sustained rate of the extreme case.
+func (e ExtremeCase) SustainedPflops(procs int) float64 {
+	c := Case{Nonlinear: e.Nonlinear, Compressed: e.Compressed}
+	flops := float64(e.Mesh.Points()) * PerPointFlops(c)
+	return flops / StrongStepSeconds(c, e.Mesh, procs) / float64(procs) * float64(procs) / 1e15
+}

@@ -1,0 +1,83 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxProblemSizeMatchesPaper(t *testing.T) {
+	// paper: 3.99 trillion points without compression, 7.8 trillion with
+	plain := MaxProblemPoints(false)
+	comp := MaxProblemPoints(true)
+	if math.Abs(plain-3.99e12)/3.99e12 > 0.25 {
+		t.Fatalf("uncompressed capacity %g points, paper reports 3.99e12", plain)
+	}
+	if math.Abs(comp-7.8e12)/7.8e12 > 0.25 {
+		t.Fatalf("compressed capacity %g points, paper reports 7.8e12", comp)
+	}
+	gain := ProblemSizeGain()
+	if gain < 1.8 || gain > 2.1 {
+		t.Fatalf("problem size gain %g, paper reports ~1.95x", gain)
+	}
+}
+
+func TestBytesPerPoint(t *testing.T) {
+	if BytesPerPoint(false) != 240 {
+		t.Fatalf("uncompressed %g B/pt", BytesPerPoint(false))
+	}
+	if BytesPerPoint(true) >= BytesPerPoint(false) {
+		t.Fatal("compression must shrink the footprint")
+	}
+	// paper: 724 TB for 7.8e12 points -> ~93 B/pt
+	if b := BytesPerPoint(true); b < 85 || b > 135 {
+		t.Fatalf("compressed %g B/pt, paper implies ~93", b)
+	}
+}
+
+func TestExtremeCaseFitsOnlyCompressed(t *testing.T) {
+	e := PaperExtremeCase()
+	if e.Mesh.Points() != 7_800_000_000_000 {
+		t.Fatalf("extreme mesh %d points, paper says 7.8 trillion", e.Mesh.Points())
+	}
+	if !e.FitsMemory() {
+		t.Fatal("compressed extreme case must fit (the paper ran it)")
+	}
+	plain := e
+	plain.Compressed = false
+	if plain.FitsMemory() {
+		t.Fatal("uncompressed extreme case must NOT fit — compression is what enables it")
+	}
+}
+
+func TestExtremeCaseResolvesTargetFrequency(t *testing.T) {
+	// 8 m spacing resolves 18 Hz with >= 4 points per wavelength of the
+	// slowest S waves the paper's model carries at depth (Vs >= ~600 m/s
+	// is under-resolved near the surface — the paper accepts that; at
+	// Vs = 1500 m/s the rule holds: 1500/(18*8) = 10.4 pts)
+	e := PaperExtremeCase()
+	pts := 1500.0 / (e.TargetHz * e.Dx)
+	if pts < 4 {
+		t.Fatalf("only %g points per wavelength at 18 Hz", pts)
+	}
+}
+
+func TestExtremeCaseTimeToSolution(t *testing.T) {
+	e := PaperExtremeCase()
+	steps := e.Steps()
+	// dt = 0.49 ms -> ~245,000 steps for 120 s
+	if steps < 200_000 || steps > 300_000 {
+		t.Fatalf("%d steps", steps)
+	}
+	hours := e.TimeToSolution(160000)
+	// sanity band: the AWP heritage targets "within half a day" for its
+	// production runs; the extreme 18-Hz case is ~2x that in our model
+	if hours < 2 || hours > 30 {
+		t.Fatalf("time to solution %g h implausible", hours)
+	}
+	// the sustained rate at the extreme scale should approach the Fig. 8
+	// nonlinear+compress peak
+	p := e.SustainedPflops(160000)
+	if p < 10 || p > 25 {
+		t.Fatalf("extreme-case sustained %g Pflops", p)
+	}
+}

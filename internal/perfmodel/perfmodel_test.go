@@ -1,0 +1,278 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCaseString(t *testing.T) {
+	if (Case{}).String() != "linear" {
+		t.Fatal("linear name")
+	}
+	if (Case{Nonlinear: true, Compressed: true}).String() != "nonlinear+compress" {
+		t.Fatal("nonlinear+compress name")
+	}
+}
+
+func TestCGStepMemoryBoundWithoutCompression(t *testing.T) {
+	// the uncompressed solver must be memory-bound on TaihuLight
+	pts := PaperWeakBlock
+	for _, c := range []Case{{}, {Nonlinear: true}} {
+		memT := float64(pts) * PerPointTraffic(c) / (EffectiveBWGBs * 1e9)
+		if got := CGStepSeconds(c, pts); math.Abs(got-memT)/memT > 1e-9 {
+			t.Fatalf("%v: step %g not memory-bound %g", c, got, memT)
+		}
+	}
+}
+
+func TestCompressionGainMatchesPaper(t *testing.T) {
+	// §6.5: compression improves performance by ~24% (nonlinear) and the
+	// linear case by ~33% (14.2/10.7 from Fig. 8)
+	pts := PaperWeakBlock
+	nl := CGStepSeconds(Case{Nonlinear: true}, pts) /
+		CGStepSeconds(Case{Nonlinear: true, Compressed: true}, pts)
+	if nl < 1.15 || nl > 1.35 {
+		t.Fatalf("nonlinear compression gain %g, paper reports ~1.24", nl)
+	}
+	lin := CGStepSeconds(Case{}, pts) / CGStepSeconds(Case{Compressed: true}, pts)
+	if lin < 1.2 || lin > 1.45 {
+		t.Fatalf("linear compression gain %g, paper implies ~1.33", lin)
+	}
+}
+
+func TestWeakScalingEndpointsMatchFig8(t *testing.T) {
+	// Fig. 8 peak sustained performance at 160,000 processes:
+	//   nonlinear 15.2, linear 10.7, nonlinear+comp 18.9, linear+comp 14.2
+	cases := []struct {
+		c    Case
+		want float64
+	}{
+		{Case{Nonlinear: true}, 15.2},
+		{Case{}, 10.7},
+		{Case{Nonlinear: true, Compressed: true}, 18.9},
+		{Case{Compressed: true}, 14.2},
+	}
+	for _, tc := range cases {
+		got := WeakScalingPoint(tc.c, 160000, PaperWeakBlock)
+		if math.Abs(got-tc.want)/tc.want > 0.08 {
+			t.Errorf("%v: %0.1f Pflops, paper reports %0.1f", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestWeakScalingNearLinear(t *testing.T) {
+	// Fig. 8: "almost perfect linear speedup from 8,000 to 160,000"
+	c := Case{Nonlinear: true, Compressed: true}
+	procs := []int{8000, 16000, 32000, 64000, 160000}
+	prev := 0.0
+	for _, p := range procs {
+		v := WeakScalingPoint(c, p, PaperWeakBlock)
+		if v <= prev {
+			t.Fatalf("weak scaling not monotone at %d procs", p)
+		}
+		// never below 75% of ideal scaling from 8K
+		ideal := WeakScalingPoint(c, 8000, PaperWeakBlock) * float64(p) / 8000
+		if v < 0.75*ideal {
+			t.Fatalf("efficiency collapsed at %d procs: %g of %g", p, v, ideal)
+		}
+		prev = v
+	}
+}
+
+func TestWeakEfficiencyCalibration(t *testing.T) {
+	cases := map[Case]float64{
+		{}:                                  0.979,
+		{Nonlinear: true}:                   0.801,
+		{Compressed: true}:                  0.965,
+		{Nonlinear: true, Compressed: true}: 0.795,
+	}
+	for c, want := range cases {
+		if got := WeakEfficiency(c, 160000); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v efficiency %g want %g", c, got, want)
+		}
+		if WeakEfficiency(c, 8000) != 1 {
+			t.Errorf("%v baseline efficiency must be 1", c)
+		}
+	}
+}
+
+func TestNonlinearFasterInPflopsSlowerInTime(t *testing.T) {
+	// the paper's seeming paradox: nonlinear runs achieve MORE Pflops
+	// (more arithmetic per byte) while taking LONGER per step
+	pts := PaperWeakBlock
+	if CGGflops(Case{Nonlinear: true}, pts) <= CGGflops(Case{}, pts) {
+		t.Fatal("nonlinear must sustain a higher flop rate")
+	}
+	if CGStepSeconds(Case{Nonlinear: true}, pts) <= CGStepSeconds(Case{}, pts) {
+		t.Fatal("nonlinear must take longer per step")
+	}
+}
+
+func TestTable4Reproduction(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Effective <= 0 || r.Effective > r.Peak {
+			t.Errorf("%s: effective %g vs peak %g", r.Name, r.Effective, r.Peak)
+		}
+	}
+	// paper: 98.7 Gflops (12.9% of 765)
+	g := byName["Computing Performance"]
+	if g.Effective < 88 || g.Effective > 108 {
+		t.Errorf("per-CG Gflops %g, paper reports 98.7", g.Effective)
+	}
+	if frac := g.Effective / g.Peak; frac < 0.115 || frac > 0.141 {
+		t.Errorf("efficiency %g, paper reports 12.9%%", frac)
+	}
+	// paper: 5.2 of 5.5 GB (94.5%)
+	m := byName["Memory Size"]
+	if m.Effective < 4.6 || m.Effective > 5.5 {
+		t.Errorf("memory %g GB, paper reports 5.2", m.Effective)
+	}
+	// paper: 25 of 34 GB/s (73.5%)
+	b := byName["Memory Bandwidth"]
+	if b.Effective != 25 || b.Peak != 34 {
+		t.Errorf("bandwidth row %+v", b)
+	}
+	// paper: 60 of 64 KB (93.8%)
+	l := byName["LDM Size"]
+	if l.Effective/l.Peak < 0.9 {
+		t.Errorf("LDM row %+v", l)
+	}
+}
+
+func TestStrongScalingBandsMatchFig9(t *testing.T) {
+	// Fig. 9 nonlinear, 8K -> 160K processes (ideal 20x): larger problems
+	// scale better; efficiencies roughly 53% (dx=100m), 64% (dx=50m),
+	// 76% (dx=16m)
+	meshes := PaperStrongMeshes()
+	c := Case{Nonlinear: true}
+	e100 := StrongEfficiency(c, meshes["dx=100m"], 8000, 160000)
+	e50 := StrongEfficiency(c, meshes["dx=50m"], 8000, 160000)
+	e16 := StrongEfficiency(c, meshes["dx=16m"], 8000, 160000)
+	if !(e100 < e50 && e50 < e16) {
+		t.Fatalf("ordering wrong: %g %g %g (must improve with size)", e100, e50, e16)
+	}
+	if e100 < 0.40 || e100 > 0.65 {
+		t.Errorf("dx=100m efficiency %g, paper ~0.53", e100)
+	}
+	if e50 < 0.55 || e50 > 0.75 {
+		t.Errorf("dx=50m efficiency %g, paper ~0.64", e50)
+	}
+	if e16 < 0.68 || e16 > 0.88 {
+		t.Errorf("dx=16m efficiency %g, paper ~0.76", e16)
+	}
+}
+
+func TestStrongScalingMonotoneSpeedup(t *testing.T) {
+	mesh := PaperStrongMeshes()["dx=50m"]
+	c := Case{Nonlinear: true}
+	prev := 0.0
+	for _, p := range []int{8000, 16000, 32000, 64000, 128000, 160000} {
+		s := StrongSpeedup(c, mesh, 8000, p)
+		if s <= prev {
+			t.Fatalf("speedup not monotone at %d procs", p)
+		}
+		if s > float64(p)/8000*1.001 {
+			t.Fatalf("super-ideal speedup at %d procs: %g", p, s)
+		}
+		prev = s
+	}
+}
+
+func TestCompressedStrongScalingLessEfficient(t *testing.T) {
+	// compression shortens compute, so the fixed overheads loom larger —
+	// Fig. 9's compressed panels show slightly lower efficiencies
+	mesh := PaperStrongMeshes()["dx=100m"]
+	plain := StrongEfficiency(Case{Nonlinear: true}, mesh, 8000, 160000)
+	comp := StrongEfficiency(Case{Nonlinear: true, Compressed: true}, mesh, 8000, 160000)
+	if comp >= plain {
+		t.Fatalf("compressed efficiency %g should be below plain %g", comp, plain)
+	}
+}
+
+func TestFig7KernelLadder(t *testing.T) {
+	for _, k := range Fig7Kernels() {
+		tMPE := k.TimePerPoint(MPE)
+		prev := math.Inf(1)
+		for _, s := range Strategies {
+			tt := k.TimePerPoint(s)
+			if tt <= 0 {
+				t.Fatalf("%s/%v: non-positive time", k.Name, s)
+			}
+			if tt > prev*1.0001 {
+				t.Fatalf("%s: strategy %v slower than previous rung", k.Name, s)
+			}
+			prev = tt
+		}
+		if k.Speedup(MPE) != 1 {
+			t.Fatalf("%s: MPE speedup != 1", k.Name)
+		}
+		_ = tMPE
+	}
+}
+
+func TestFig7SpeedupBands(t *testing.T) {
+	kernels := Fig7Kernels()
+	byName := map[string]Kernel{}
+	for _, k := range kernels {
+		byName[k.Name] = k
+	}
+	// paper: "speedups for almost all the different most-consuming kernels
+	// are in the same range of around 30x" at MEM, rising with CMPR; fstr
+	// only reaches 4-5x
+	for _, name := range []string{"delcx", "delcy", "dstrqc", "drprecpc_calc"} {
+		k := byName[name]
+		if s := k.Speedup(MEM); s < 20 || s > 42 {
+			t.Errorf("%s MEM speedup %g, paper band ~25-40", name, s)
+		}
+		if s := k.Speedup(CMPR); s < 28 || s > 50 {
+			t.Errorf("%s CMPR speedup %g, paper band ~28-48", name, s)
+		}
+		if k.Speedup(CMPR) <= k.Speedup(MEM) {
+			t.Errorf("%s: compression must add speedup", name)
+		}
+		if s := k.Speedup(PAR); s < 8 || s > 16 {
+			t.Errorf("%s PAR speedup %g, paper band ~13", name, s)
+		}
+	}
+	f := byName["fstr"]
+	if s := f.Speedup(CMPR); s < 3.2 || s > 6 {
+		t.Errorf("fstr speedup %g, paper reports 4.2", s)
+	}
+	// pack/unpack kernels land in between
+	for _, name := range []string{"unpack_vy", "gather_vx"} {
+		if s := byName[name].Speedup(MEM); s < 6 || s > 25 {
+			t.Errorf("%s speedup %g, paper band ~13-23", name, s)
+		}
+	}
+}
+
+func TestFig7BandwidthUtilization(t *testing.T) {
+	// paper: optimized kernels reach 70-80% of the full bandwidth; the PAR
+	// version sits near 36-50%
+	for _, name := range []string{"delcx", "dstrqc", "drprecpc_calc"} {
+		var k Kernel
+		for _, kk := range Fig7Kernels() {
+			if kk.Name == name {
+				k = kk
+			}
+		}
+		if u := k.BandwidthUtilization(MEM); u < 0.60 || u > 0.90 {
+			t.Errorf("%s MEM utilization %g, paper band 0.70-0.80", name, u)
+		}
+		if u := k.BandwidthUtilization(PAR); u < 0.25 || u > 0.55 {
+			t.Errorf("%s PAR utilization %g, paper band ~0.36-0.50", name, u)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if MPE.String() != "MPE" || CMPR.String() != "CMPR" {
+		t.Fatal("strategy names wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package perfmodel
+
+import "math"
+
+// Strong-scaling model (Fig. 9). A fixed global mesh is divided over more
+// and more processes; the per-rank block shrinks, so
+//
+//   - the halo exchange volume falls only with the block perimeter while
+//     compute falls with its area (the paper's "ratio of the outer halo
+//     region to the sub-volume size" effect), and
+//   - per-step latency and synchronization costs grow with the process
+//     count, so overlap can no longer hide communication.
+//
+// Constants are calibrated so the 160K-process efficiencies land in the
+// bands of Fig. 9 (nonlinear: ~53% for dx=100 m, ~64% for dx=50 m, ~76%
+// for dx=16 m).
+
+const (
+	// netBWPerRankGBs is the effective per-CG injection bandwidth of the
+	// Sunway network for halo traffic (contention folded in).
+	netBWPerRankGBs = 1.5
+	// haloFields is the number of arrays exchanged per step (the AWP
+	// scheme exchanges the three velocity components, halo width 2).
+	haloFields = 3
+	haloWidth  = 2
+	// latencyPerStep is the fixed per-step message/progress cost.
+	latencyPerStep = 20e-6
+	// overlapFraction is how much of the exchange hides behind interior
+	// compute (AWP's overlapped scheme).
+	overlapFraction = 0.95
+	// imbalanceGrowth is the log-P growth of per-step straggler losses
+	// (data-dependent plasticity work, DMA contention variance); it is the
+	// dominant loss for compute-heavy blocks like the dx=16 m mesh.
+	imbalanceGrowth = 0.1
+)
+
+// Mesh is a global strong-scaling mesh.
+type Mesh struct {
+	Nx, Ny, Nz int
+}
+
+// Points returns the total grid points.
+func (m Mesh) Points() int64 { return int64(m.Nx) * int64(m.Ny) * int64(m.Nz) }
+
+// PaperStrongMeshes returns the three Fig. 9 problem sizes: the 320 km x
+// 312 km x 40 km Tangshan domain at dx = 100 m, 50 m and 16 m.
+func PaperStrongMeshes() map[string]Mesh {
+	return map[string]Mesh{
+		"dx=100m": {3200, 3120, 400},
+		"dx=50m":  {6400, 6240, 800},
+		"dx=16m":  {20000, 19500, 2500},
+	}
+}
+
+// StrongStepSeconds models one step's wall time at procs processes.
+func StrongStepSeconds(c Case, mesh Mesh, procs int) float64 {
+	pts := mesh.Points() / int64(procs)
+
+	// block edge length for a square process grid; shrinking blocks pay a
+	// growing DMA-halo surcharge (halo reads scale with the perimeter, the
+	// paper's "ratio of the outer halo region to the sub-volume size")
+	edge := math.Sqrt(float64(mesh.Nx) * float64(mesh.Ny) / float64(procs))
+	haloTraffic := ((edge+2*haloWidth)*(edge+2*haloWidth) - edge*edge) / (edge * edge)
+	compute := CGStepSeconds(c, pts) * (1 + haloTraffic)
+
+	// straggler losses grow with the process count
+	imb := 1 + imbalanceGrowth*math.Log2(float64(procs)/weakBaseProcs)/math.Log2(weakFullProcs/weakBaseProcs)
+	if imb < 1 {
+		imb = 1
+	}
+	compute *= imb
+
+	haloBytes := 2 /*send+recv*/ * 4 /*faces*/ * float64(haloWidth) * edge *
+		float64(mesh.Nz) * haloFields * 4
+	comm := haloBytes / (netBWPerRankGBs * 1e9)
+	// overlapped exchange: only the un-hidden remainder is exposed
+	exposed := comm - overlapFraction*compute
+	if exposed < 0 {
+		exposed = 0
+	}
+	return compute + exposed + latencyPerStep
+}
+
+// StrongSpeedup returns the measured speedup of procs over baseProcs for
+// the given mesh and case (Fig. 9's y axis is this against the ideal
+// procs/baseProcs line).
+func StrongSpeedup(c Case, mesh Mesh, baseProcs, procs int) float64 {
+	return StrongStepSeconds(c, mesh, baseProcs) / StrongStepSeconds(c, mesh, procs)
+}
+
+// StrongEfficiency returns speedup / ideal-speedup.
+func StrongEfficiency(c Case, mesh Mesh, baseProcs, procs int) float64 {
+	return StrongSpeedup(c, mesh, baseProcs, procs) * float64(baseProcs) / float64(procs)
+}
+
+// Table4 reproduces the paper's utilization accounting for the largest
+// uncompressed nonlinear run: per-CG achieved compute rate against the
+// 765 Gflops peak, memory footprint against the usable 5.5 GB, effective
+// bandwidth against the 34 GB/s DDR3 peak, and LDM bytes against 64 KB.
+type Table4Row struct {
+	Name            string
+	Effective, Peak float64
+	Unit            string
+}
+
+// Table4 returns the four rows of the paper's Table 4 from the model.
+func Table4() []Table4Row {
+	c := Case{Nonlinear: true}
+	// the paper reports the full-machine per-CG rate, i.e. including the
+	// weak-scaling losses at 160,000 processes
+	gflops := CGGflops(c, PaperWeakBlock) * WeakEfficiency(c, weakFullProcs)
+
+	// memory: the largest uncompressed case packs 3.99 trillion points onto
+	// 160,000 CGs; per point the solver carries the 35 dynamic/plasticity
+	// arrays plus media, attenuation, sponge and exchange buffers (~50
+	// float32 arrays total), with a few percent of halo overhead
+	pts := float64(3.99e12) / weakFullProcs
+	arrays := 50.0
+	bytes := arrays * pts * 4 * 1.04
+	return []Table4Row{
+		{"Computing Performance", gflops, 765, "Gflops"},
+		{"Memory Size", bytes / (1 << 30), 5.5, "GB"},
+		{"Memory Bandwidth", EffectiveBWGBs, 34, "GB/s"},
+		{"LDM Size", 60, 64, "KB"},
+	}
+}

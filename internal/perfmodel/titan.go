@@ -1,0 +1,71 @@
+package perfmodel
+
+import "swquake/internal/sunway"
+
+// Titan baseline (Roten et al. 2016, the paper's direct comparator in
+// Table 2 and §4): the nonlinear AWP-ODC running on Titan's K20X GPUs
+// sustained 1.6 Pflops on 8,192 GPUs — 11.8% of that partition's peak —
+// while this paper reaches 15% of TaihuLight's peak even though
+// TaihuLight's byte-to-flop ratio is five times worse. The baseline model
+// uses the same per-point flop/traffic accounting as the TaihuLight model,
+// with Titan's hardware envelope, so the efficiency comparison is
+// apples-to-apples within this reproduction.
+
+// Titan hardware constants (paper Table 1 and the Roten et al. runs).
+const (
+	// TitanGPUs is the full machine's GPU count; the nonlinear run used half.
+	TitanGPUs    = 18688
+	TitanRunGPUs = 8192
+	// TitanGPUPeakTflops is the K20X single-precision peak.
+	TitanGPUPeakTflops = 3.95
+	// TitanGPUMemBWGBs is the K20X theoretical memory bandwidth.
+	TitanGPUMemBWGBs = 250
+	// TitanEffBWGBs is the effective bandwidth the 2016 AWP nonlinear
+	// kernels sustain per GPU — calibrated so the baseline reproduces the
+	// published 1.6 Pflops (without this paper's fusion/blocking/
+	// compression innovations, the GPU code keeps a far smaller fraction
+	// of its nominal bandwidth than the optimized Sunway code keeps of
+	// its).
+	TitanEffBWGBs = 41
+	// TitanRunPoints is the published mesh (329 billion points).
+	TitanRunPoints = 329e9
+)
+
+// TitanGPUStepSeconds returns the per-GPU step time for pts points of the
+// nonlinear solver on Titan (memory-bound, like everywhere else).
+func TitanGPUStepSeconds(pts int64) float64 {
+	return float64(pts) * TrafficNonlinearBytes / (TitanEffBWGBs * 1e9)
+}
+
+// TitanSustainedPflops returns the modeled sustained rate of the 2016
+// nonlinear run (8,192 GPUs, 329e9 points).
+func TitanSustainedPflops() float64 {
+	ptsPerGPU := int64(TitanRunPoints) / TitanRunGPUs
+	gflops := float64(ptsPerGPU) * FlopsPerPointNonlinear / TitanGPUStepSeconds(ptsPerGPU) / 1e9
+	return gflops * TitanRunGPUs / 1e6
+}
+
+// TitanSystemPeakPflops is Titan's machine peak (Table 1); the 2016
+// nonlinear run used half the machine, and the paper's 11.8% efficiency is
+// quoted against that half-machine system peak.
+const TitanSystemPeakPflops = 27.1
+
+// TitanEfficiency returns the modeled fraction of the half-machine system
+// peak (paper: 11.8%).
+func TitanEfficiency() float64 {
+	peak := TitanSystemPeakPflops / 2 * 1e15
+	return TitanSustainedPflops() * 1e15 / peak
+}
+
+// TaihuLightEfficiency returns the compressed nonlinear case's fraction of
+// the machine peak (paper: "up to 15%").
+func TaihuLightEfficiency() float64 {
+	return WeakScalingPoint(Case{Nonlinear: true, Compressed: true}, weakFullProcs, PaperWeakBlock) *
+		1e15 / (sunway.PeakPflops * 1e15)
+}
+
+// ByteToFlopDisadvantage returns how much worse TaihuLight's byte-to-flop
+// ratio is than Titan's (paper: ~5x).
+func ByteToFlopDisadvantage() float64 {
+	return 0.202 / 0.038
+}

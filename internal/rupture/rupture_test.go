@@ -1,0 +1,329 @@
+package rupture
+
+import (
+	"math"
+	"testing"
+
+	"swquake/internal/fd"
+	"swquake/internal/grid"
+	"swquake/internal/model"
+	"swquake/internal/source"
+)
+
+func testMedium(d grid.Dims) *fd.Medium {
+	mat := model.Material{Vp: 4000, Vs: 2310, Rho: 2500}
+	med := fd.NewMedium(d)
+	lam, mu := mat.Lame()
+	med.Rho.Fill(float32(mat.Rho))
+	med.Lam.Fill(float32(lam))
+	med.Mu.Fill(float32(mu))
+	return med
+}
+
+// smallConfig is a fast-rupturing fault for unit tests.
+func smallConfig(d grid.Dims) Config {
+	sigmaN := func(_, _ int) float64 { return 10e6 }
+	return Config{
+		I0: 4, I1: d.Nx - 4, K0: 2, K1: d.Nz - 4,
+		Trace: func(int) int { return d.Ny / 2 },
+		MuS:   0.6, MuD: 0.2, Dc: 0.01,
+		Tau0:   func(i, k int) float64 { return 0.55 * sigmaN(i, k) },
+		SigmaN: sigmaN,
+		HypoI:  d.Nx / 2, HypoK: d.Nz / 2,
+		NucRadius: 2, NucOver: 1.15,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := grid.Dims{Nx: 32, Ny: 16, Nz: 20}
+	good := smallConfig(d)
+	if err := good.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.I1 = d.Nx + 5
+	if bad.Validate(d) == nil {
+		t.Fatal("strike overflow accepted")
+	}
+	bad = good
+	bad.MuS, bad.MuD = 0.2, 0.6
+	if bad.Validate(d) == nil {
+		t.Fatal("inverted friction accepted")
+	}
+	bad = good
+	bad.HypoI = 0
+	if bad.Validate(d) == nil {
+		t.Fatal("hypocentre off fault accepted")
+	}
+	bad = good
+	bad.NucOver = 1.0
+	if bad.Validate(d) == nil {
+		t.Fatal("non-overstressed nucleation accepted")
+	}
+	bad = good
+	bad.Trace = func(int) int { return 0 }
+	if bad.Validate(d) == nil {
+		t.Fatal("trace at grid edge accepted")
+	}
+}
+
+func TestFrictionWeakening(t *testing.T) {
+	cfg := Config{MuS: 0.6, MuD: 0.2, Dc: 0.1}
+	if got := frictionMu(cfg, 0); got != 0.6 {
+		t.Fatalf("mu(0) = %g", got)
+	}
+	if got := frictionMu(cfg, 0.05); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("mu(Dc/2) = %g", got)
+	}
+	if got := frictionMu(cfg, 0.1); got != 0.2 {
+		t.Fatalf("mu(Dc) = %g", got)
+	}
+	if got := frictionMu(cfg, 10); got != 0.2 {
+		t.Fatalf("mu beyond Dc = %g (must clamp)", got)
+	}
+}
+
+func runSmall(t *testing.T, steps int) (*Result, *fd.Medium, grid.Dims) {
+	t.Helper()
+	d := grid.Dims{Nx: 40, Ny: 16, Nz: 24}
+	med := testMedium(d)
+	dx := 50.0
+	dt := 0.8 * model.CFLTimeStep(dx, 4000)
+	res, err := Simulate(smallConfig(d), med, dx, dt, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, med, d
+}
+
+func TestRuptureNucleatesAndPropagates(t *testing.T) {
+	res, _, d := runSmall(t, 220)
+
+	// the nucleation patch must slip immediately
+	hypo := res.Cell(d.Nx/2, d.Nz/2)
+	if res.RuptureTime[hypo] != 0 {
+		t.Fatalf("hypocentre rupture time %g", res.RuptureTime[hypo])
+	}
+	// the rupture must spread well beyond the nucleation radius
+	if f := res.RupturedFraction(); f < 0.5 {
+		t.Fatalf("ruptured fraction %g, rupture failed to propagate", f)
+	}
+	// rupture time grows with distance from the hypocentre along strike
+	near := res.RuptureTime[res.Cell(d.Nx/2+4, d.Nz/2)]
+	far := res.RuptureTime[res.Cell(d.Nx-6, d.Nz/2)]
+	if near < 0 || far < 0 {
+		t.Fatal("strike cells did not rupture")
+	}
+	if far <= near {
+		t.Fatalf("rupture front not causal: near %g far %g", near, far)
+	}
+	// slip accumulates
+	if res.MaxFinalSlip() <= 0 {
+		t.Fatal("no slip")
+	}
+}
+
+func TestRuptureSpeedSubShear(t *testing.T) {
+	res, _, d := runSmall(t, 220)
+	v := res.RuptureSpeed(d.Nx - 6)
+	if v <= 0 {
+		t.Fatal("no rupture speed measurable")
+	}
+	// physical bound: rupture cannot outrun the P wave; typical spontaneous
+	// ruptures run near the Rayleigh speed (~0.92 Vs)
+	if v >= 4000 {
+		t.Fatalf("rupture speed %g exceeds Vp", v)
+	}
+	if v < 500 {
+		t.Fatalf("rupture speed %g implausibly slow", v)
+	}
+}
+
+func TestStrongerFaultArrests(t *testing.T) {
+	d := grid.Dims{Nx: 40, Ny: 16, Nz: 24}
+	med := testMedium(d)
+	dx := 50.0
+	dt := 0.8 * model.CFLTimeStep(dx, 4000)
+
+	cfg := smallConfig(d)
+	// drop the background load far below strength: only the overstressed
+	// nucleation patch can slip, and the rupture must die out
+	cfg.Tau0 = func(i, k int) float64 { return 0.30 * cfg.SigmaN(i, k) }
+	cfg.NucOver = 2.1 // patch still above 0.6*sigmaN
+	res, err := Simulate(cfg, med, dx, dt, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.RupturedFraction(); f > 0.3 {
+		t.Fatalf("rupture should arrest on a strong fault, fraction %g", f)
+	}
+	if res.RupturedFraction() == 0 {
+		t.Fatal("nucleation patch itself must slip")
+	}
+}
+
+func TestSeismicMomentAndSources(t *testing.T) {
+	res, med, _ := runSmall(t, 180)
+	m0 := res.SeismicMoment(med)
+	if m0 <= 0 {
+		t.Fatal("zero moment")
+	}
+	// sources must integrate to the same moment
+	srcs := res.Sources(med, 1)
+	if len(srcs) == 0 {
+		t.Fatal("no sources emitted")
+	}
+	var srcMoment float64
+	for _, s := range srcs {
+		st := s.S.(source.Sampled)
+		for _, r := range st.Rates {
+			srcMoment += r * res.Dt
+		}
+	}
+	if math.Abs(srcMoment-m0)/m0 > 0.02 {
+		t.Fatalf("source moment %g vs fault moment %g", srcMoment, m0)
+	}
+	// all sources are strike-slip at the trace
+	for _, s := range srcs {
+		if s.M != source.StrikeSlipXY() {
+			t.Fatal("wrong mechanism")
+		}
+	}
+}
+
+func TestSourceDecimationConservesMoment(t *testing.T) {
+	res, med, _ := runSmall(t, 180)
+	full := res.Sources(med, 1)
+	dec := res.Sources(med, 2)
+	if len(dec) >= len(full) {
+		t.Fatal("decimation did not reduce source count")
+	}
+	sum := func(srcs []source.PointSource) float64 {
+		var m float64
+		for _, s := range srcs {
+			for _, r := range s.S.(source.Sampled).Rates {
+				m += r * res.Dt
+			}
+		}
+		return m
+	}
+	mf, md := sum(full), sum(dec)
+	// the 2x2-cell area scaling keeps total moment within sampling error
+	if math.Abs(mf-md)/mf > 0.25 {
+		t.Fatalf("decimated moment %g vs full %g", md, mf)
+	}
+}
+
+func TestSlipRateSnapshotShape(t *testing.T) {
+	res, _, d := runSmall(t, 60)
+	snap := res.SlipRateSnapshot(10)
+	if len(snap) != (d.Nx-4)-4 {
+		t.Fatalf("snapshot strike extent %d", len(snap))
+	}
+	if len(snap[0]) != (d.Nz-4)-2 {
+		t.Fatalf("snapshot depth extent %d", len(snap[0]))
+	}
+	// at step 10 only the nucleation region moves
+	var active int
+	for _, row := range snap {
+		for _, v := range row {
+			if v > 0 {
+				active++
+			}
+		}
+	}
+	if active == 0 {
+		t.Fatal("nucleation invisible in early snapshot")
+	}
+}
+
+func TestTangshanConfigValid(t *testing.T) {
+	d := grid.Dims{Nx: 64, Ny: 32, Nz: 30}
+	cfg := TangshanConfig(d, 50)
+	if err := cfg.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	// the trace must bend toward the NE end (non-planar)
+	if cfg.Trace(cfg.I1-1) <= cfg.Trace(cfg.I0) {
+		t.Fatal("Tangshan trace is planar")
+	}
+	// stress state must allow spontaneous rupture: nucleation overstress
+	// above static strength, background below
+	sn := cfg.SigmaN(cfg.HypoI, cfg.HypoK)
+	if cfg.Tau0(cfg.HypoI, cfg.HypoK)*cfg.NucOver <= cfg.MuS*sn {
+		t.Fatal("nucleation patch below static strength")
+	}
+	if cfg.Tau0(cfg.I0, cfg.K0) >= cfg.MuS*cfg.SigmaN(cfg.I0, cfg.K0) {
+		t.Fatal("background already failing")
+	}
+}
+
+func TestTangshanRuptureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long rupture run")
+	}
+	d := grid.Dims{Nx: 48, Ny: 24, Nz: 24}
+	med := testMedium(d)
+	cfg := TangshanConfig(d, 100)
+	dt := 0.8 * model.CFLTimeStep(100, 4000)
+	res, err := Simulate(cfg, med, 100, dt, 260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RupturedFraction() < 0.4 {
+		t.Fatalf("Tangshan scenario rupture fraction %g", res.RupturedFraction())
+	}
+	if res.SeismicMoment(med) <= 0 {
+		t.Fatal("no moment released")
+	}
+}
+
+func TestSourcesOnGrid(t *testing.T) {
+	res, med, _ := runSmall(t, 120)
+	target := grid.Dims{Nx: 80, Ny: 40, Nz: 30}
+	srcs := res.SourcesOnGrid(med, 2, target, 200)
+	if len(srcs) == 0 {
+		t.Fatal("no sources mapped")
+	}
+	for _, s := range srcs {
+		if s.I < 0 || s.I >= target.Nx || s.K < 0 || s.K >= target.Nz {
+			t.Fatalf("source outside target grid: %+v", s)
+		}
+		if s.J != target.Ny/2 {
+			t.Fatalf("source off the fault mid-plane: j=%d", s.J)
+		}
+		// strike positions land in the scaled fault span
+		if s.I < target.Nx/5 || s.I > target.Nx*3/4 {
+			t.Fatalf("source strike position %d outside scaled span", s.I)
+		}
+	}
+	// mapped sources preserve the rupture's total moment (no cells dropped
+	// for this in-range mapping)
+	full := res.Sources(med, 2)
+	sum := func(ss []source.PointSource) float64 {
+		var m float64
+		for _, s := range ss {
+			for _, rr := range s.S.(source.Sampled).Rates {
+				m += rr * res.Dt
+			}
+		}
+		return m
+	}
+	if math.Abs(sum(srcs)-sum(full))/sum(full) > 1e-9 {
+		t.Fatalf("moment not preserved: %g vs %g", sum(srcs), sum(full))
+	}
+}
+
+func TestValidateStressFields(t *testing.T) {
+	d := grid.Dims{Nx: 32, Ny: 16, Nz: 20}
+	bad := smallConfig(d)
+	bad.SigmaN = func(_, _ int) float64 { return 0 }
+	if bad.Validate(d) == nil {
+		t.Fatal("zero normal stress accepted")
+	}
+	bad = smallConfig(d)
+	bad.Tau0 = func(_, _ int) float64 { return -1 }
+	if bad.Validate(d) == nil {
+		t.Fatal("negative shear load accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package rupture
+
+import (
+	"math"
+
+	"swquake/internal/grid"
+)
+
+// TangshanConfig builds a scaled Tangshan-like fault for a grid of dims d
+// with spacing dx: a vertical right-lateral strike-slip fault spanning the
+// central ~70% of the x extent, with a gentle non-planar bend toward its
+// north-east end (the curvature that makes the paper's Fig. 10b rupture
+// front complex), depth-dependent effective normal stress and a shear
+// pre-load at 55% of normal stress. Friction follows the slip-weakening
+// law with depth-independent coefficients.
+func TangshanConfig(d grid.Dims, dx float64) Config {
+	i0 := d.Nx * 15 / 100
+	i1 := d.Nx * 85 / 100
+	k0 := 1
+	k1 := d.Nz * 2 / 3
+	if k1 <= k0 {
+		k1 = k0 + 1
+	}
+	jMid := d.Ny / 2
+
+	// non-planar trace: straight for the south-west half, bending by up to
+	// ~6% of the strike length toward the north-east end
+	span := i1 - i0
+	trace := func(i int) int {
+		t := float64(i-i0) / float64(span)
+		bend := 0.0
+		if t > 0.5 {
+			s := (t - 0.5) / 0.5
+			bend = 0.06 * float64(span) * s * s
+		}
+		j := jMid + int(math.Round(bend))
+		if j >= d.Ny-2 {
+			j = d.Ny - 2
+		}
+		return j
+	}
+
+	sigmaN := func(_, k int) float64 {
+		// effective (pore-pressure-reduced) overburden with a floor so the
+		// shallowest cells keep finite strength
+		s := 0.6 * 2700 * 9.81 * (float64(k) + 0.5) * dx
+		if s < 2e6 {
+			s = 2e6
+		}
+		if s > 60e6 {
+			s = 60e6 // saturation at depth (near-lithostatic pore pressure)
+		}
+		return s
+	}
+	tau0 := func(i, k int) float64 { return 0.55 * sigmaN(i, k) }
+
+	return Config{
+		I0: i0, I1: i1, K0: k0, K1: k1,
+		Trace: trace,
+		MuS:   0.60, MuD: 0.20, Dc: 0.01 * (dx / 50), // Dc scales with resolution
+		Tau0: tau0, SigmaN: sigmaN,
+		HypoI: i0 + span/3, HypoK: (k0 + k1) / 2,
+		NucRadius: 3, NucOver: 1.15,
+	}
+}

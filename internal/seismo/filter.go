@@ -1,0 +1,196 @@
+package seismo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Butterworth filtering. Seismogram comparisons are conventionally done in
+// a common frequency band (the paper compares 200 m and 16 m runs whose
+// resolvable bands differ by an order of magnitude); these second-order
+// biquad sections implement the standard 2-pole Butterworth low/high-pass
+// and their cascade as a band-pass, applied forward-backward (two-pass,
+// zero phase) so arrival times are preserved.
+
+// biquad is one second-order IIR section, direct form I.
+type biquad struct {
+	b0, b1, b2, a1, a2 float64
+}
+
+func (q biquad) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	var x1, x2, y1, y2 float64
+	for i, v := range x {
+		y := q.b0*v + q.b1*x1 + q.b2*x2 - q.a1*y1 - q.a2*y2
+		x2, x1 = x1, v
+		y2, y1 = y1, y
+		out[i] = y
+	}
+	return out
+}
+
+// applyZeroPhase runs the section forward then backward.
+func (q biquad) applyZeroPhase(x []float64) []float64 {
+	y := q.apply(x)
+	reverse(y)
+	y = q.apply(y)
+	reverse(y)
+	return y
+}
+
+func reverse(x []float64) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// lowpassBiquad builds a 2-pole Butterworth low-pass at corner fc for
+// sample interval dt (bilinear transform with prewarping).
+func lowpassBiquad(fc, dt float64) (biquad, error) {
+	if fc <= 0 || dt <= 0 || fc >= 0.5/dt {
+		return biquad{}, fmt.Errorf("seismo: corner %g Hz invalid for dt %g (Nyquist %g)", fc, dt, 0.5/dt)
+	}
+	k := math.Tan(math.Pi * fc * dt)
+	q := math.Sqrt2
+	norm := 1 / (1 + q*k + k*k)
+	return biquad{
+		b0: k * k * norm,
+		b1: 2 * k * k * norm,
+		b2: k * k * norm,
+		a1: 2 * (k*k - 1) * norm,
+		a2: (1 - q*k + k*k) * norm,
+	}, nil
+}
+
+// highpassBiquad builds a 2-pole Butterworth high-pass at corner fc.
+func highpassBiquad(fc, dt float64) (biquad, error) {
+	if fc <= 0 || dt <= 0 || fc >= 0.5/dt {
+		return biquad{}, fmt.Errorf("seismo: corner %g Hz invalid for dt %g (Nyquist %g)", fc, dt, 0.5/dt)
+	}
+	k := math.Tan(math.Pi * fc * dt)
+	q := math.Sqrt2
+	norm := 1 / (1 + q*k + k*k)
+	return biquad{
+		b0: norm,
+		b1: -2 * norm,
+		b2: norm,
+		a1: 2 * (k*k - 1) * norm,
+		a2: (1 - q*k + k*k) * norm,
+	}, nil
+}
+
+func toF64(x []float32) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func toF32(x []float64) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// Lowpass returns a zero-phase low-pass filtered copy of the trace.
+func (t *Trace) Lowpass(fc float64) (*Trace, error) {
+	q, err := lowpassBiquad(fc, t.Dt)
+	if err != nil {
+		return nil, err
+	}
+	return t.filtered(q), nil
+}
+
+// Highpass returns a zero-phase high-pass filtered copy of the trace.
+func (t *Trace) Highpass(fc float64) (*Trace, error) {
+	q, err := highpassBiquad(fc, t.Dt)
+	if err != nil {
+		return nil, err
+	}
+	return t.filtered(q), nil
+}
+
+// Bandpass returns a zero-phase band-pass filtered copy (high-pass at lo
+// cascaded with low-pass at hi).
+func (t *Trace) Bandpass(lo, hi float64) (*Trace, error) {
+	if lo >= hi {
+		return nil, fmt.Errorf("seismo: band [%g, %g] empty", lo, hi)
+	}
+	hp, err := t.Highpass(lo)
+	if err != nil {
+		return nil, err
+	}
+	return hp.Lowpass(hi)
+}
+
+func (t *Trace) filtered(q biquad) *Trace {
+	return &Trace{
+		Station: t.Station,
+		Dt:      t.Dt,
+		U:       toF32(q.applyZeroPhase(toF64(t.U))),
+		V:       toF32(q.applyZeroPhase(toF64(t.V))),
+		W:       toF32(q.applyZeroPhase(toF64(t.W))),
+	}
+}
+
+// Resample returns the trace linearly interpolated onto sample interval
+// newDt over the same duration — used to compare runs with different time
+// steps (the coarse/fine pair of Fig. 11).
+func (t *Trace) Resample(newDt float64) (*Trace, error) {
+	if newDt <= 0 || t.Dt <= 0 || len(t.U) < 2 {
+		return nil, fmt.Errorf("seismo: cannot resample (dt %g -> %g, %d samples)", t.Dt, newDt, len(t.U))
+	}
+	dur := float64(len(t.U)-1) * t.Dt
+	n := int(dur/newDt) + 1
+	out := &Trace{Station: t.Station, Dt: newDt,
+		U: make([]float32, n), V: make([]float32, n), W: make([]float32, n)}
+	interp := func(src []float32, tt float64) float32 {
+		x := tt / t.Dt
+		i := int(x)
+		if i >= len(src)-1 {
+			return src[len(src)-1]
+		}
+		f := float32(x - float64(i))
+		return src[i]*(1-f) + src[i+1]*f
+	}
+	for i := 0; i < n; i++ {
+		tt := float64(i) * newDt
+		out.U[i] = interp(t.U, tt)
+		out.V[i] = interp(t.V, tt)
+		out.W[i] = interp(t.W, tt)
+	}
+	return out, nil
+}
+
+// BandlimitedMisfit resamples o onto t's sampling, band-passes both into
+// [lo, hi] and returns the RMS misfit — the standard way to compare
+// simulations with different resolvable bandwidths.
+func (t *Trace) BandlimitedMisfit(o *Trace, lo, hi float64) (float64, error) {
+	ro := o
+	if o.Dt != t.Dt {
+		var err error
+		ro, err = o.Resample(t.Dt)
+		if err != nil {
+			return 0, err
+		}
+	}
+	// trim to the common length
+	n := len(t.U)
+	if len(ro.U) < n {
+		n = len(ro.U)
+	}
+	ta := &Trace{Dt: t.Dt, U: t.U[:n], V: t.V[:n], W: t.W[:n]}
+	tb := &Trace{Dt: t.Dt, U: ro.U[:n], V: ro.V[:n], W: ro.W[:n]}
+	fa, err := ta.Bandpass(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	fb, err := tb.Bandpass(lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return fa.RMSMisfit(fb)
+}

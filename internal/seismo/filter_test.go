@@ -1,0 +1,174 @@
+package seismo
+
+import (
+	"math"
+	"testing"
+)
+
+func toneTrace(f, dt float64, n int, amp float64) *Trace {
+	tr := &Trace{Dt: dt, U: make([]float32, n), V: make([]float32, n), W: make([]float32, n)}
+	for i := range tr.U {
+		tr.U[i] = float32(amp * math.Sin(2*math.Pi*f*float64(i)*dt))
+	}
+	return tr
+}
+
+func addTone(tr *Trace, f, amp float64) {
+	for i := range tr.U {
+		tr.U[i] += float32(amp * math.Sin(2*math.Pi*f*float64(i)*tr.Dt))
+	}
+}
+
+func rmsU(tr *Trace) float64 {
+	var s float64
+	for _, v := range tr.U {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s / float64(len(tr.U)))
+}
+
+func TestLowpassRemovesHighTone(t *testing.T) {
+	dt := 0.005
+	tr := toneTrace(1, dt, 2000, 1) // 1 Hz kept
+	addTone(tr, 40, 1)              // 40 Hz removed
+	lp, err := tr.Lowpass(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the 1 Hz tone survives (>80% RMS of a pure 1 Hz), 40 Hz mostly gone
+	pure := toneTrace(1, dt, 2000, 1)
+	if rmsU(lp) < 0.8*rmsU(pure) || rmsU(lp) > 1.2*rmsU(pure) {
+		t.Fatalf("low-pass RMS %g vs pure %g", rmsU(lp), rmsU(pure))
+	}
+	m, _ := lp.RMSMisfit(pure)
+	if m > 0.2 {
+		t.Fatalf("low-passed signal differs from the pure tone by %g", m)
+	}
+}
+
+func TestHighpassRemovesLowTone(t *testing.T) {
+	dt := 0.005
+	tr := toneTrace(0.2, dt, 4000, 1)
+	addTone(tr, 20, 0.5)
+	hp, err := tr.Highpass(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := toneTrace(20, dt, 4000, 0.5)
+	m, _ := hp.RMSMisfit(pure)
+	if m > 0.25 {
+		t.Fatalf("high-passed signal differs from the 20 Hz tone by %g", m)
+	}
+}
+
+func TestBandpassSelectsMiddle(t *testing.T) {
+	dt := 0.005
+	tr := toneTrace(0.2, dt, 4000, 1)
+	addTone(tr, 8, 1)
+	addTone(tr, 60, 1)
+	bp, err := tr.Bandpass(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := toneTrace(8, dt, 4000, 1)
+	m, _ := bp.RMSMisfit(pure)
+	if m > 0.3 {
+		t.Fatalf("band-passed signal differs from the 8 Hz tone by %g", m)
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	tr := toneTrace(1, 0.01, 100, 1)
+	if _, err := tr.Lowpass(0); err == nil {
+		t.Fatal("zero corner accepted")
+	}
+	if _, err := tr.Lowpass(100); err == nil {
+		t.Fatal("corner beyond Nyquist accepted")
+	}
+	if _, err := tr.Bandpass(5, 2); err == nil {
+		t.Fatal("inverted band accepted")
+	}
+}
+
+func TestZeroPhasePreservesPeakTime(t *testing.T) {
+	// a pulse's peak must not shift after zero-phase filtering
+	dt := 0.005
+	n := 1000
+	tr := &Trace{Dt: dt, U: make([]float32, n), V: make([]float32, n), W: make([]float32, n)}
+	center := 500
+	for i := range tr.U {
+		a := float64(i-center) * dt * 4
+		tr.U[i] = float32(math.Exp(-a * a))
+	}
+	lp, err := tr.Lowpass(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, pi := float32(0), 0
+	for i, v := range lp.U {
+		if v > peak {
+			peak, pi = v, i
+		}
+	}
+	if abs(pi-center) > 3 {
+		t.Fatalf("peak shifted from %d to %d", center, pi)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestResample(t *testing.T) {
+	tr := toneTrace(1, 0.01, 400, 1)
+	rs, err := tr.Resample(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Dt != 0.005 {
+		t.Fatal("dt not updated")
+	}
+	// duration preserved within one sample
+	durA := float64(len(tr.U)-1) * tr.Dt
+	durB := float64(len(rs.U)-1) * rs.Dt
+	if math.Abs(durA-durB) > 0.01 {
+		t.Fatalf("duration %g -> %g", durA, durB)
+	}
+	// values match the tone at resampled points (linear interp error small)
+	for i := 0; i < len(rs.U); i += 37 {
+		want := math.Sin(2 * math.Pi * 1 * float64(i) * 0.005)
+		if math.Abs(float64(rs.U[i])-want) > 0.01 {
+			t.Fatalf("sample %d: %g vs %g", i, rs.U[i], want)
+		}
+	}
+	if _, err := tr.Resample(0); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+}
+
+func TestBandlimitedMisfitCrossResolution(t *testing.T) {
+	// the same physical signal sampled at two rates: the band-limited
+	// misfit in a band both runs resolve must be tiny, even though the
+	// fine trace carries extra high-frequency content
+	coarse := toneTrace(2, 0.02, 200, 1)
+	fine := toneTrace(2, 0.005, 800, 1)
+	addTone(fine, 40, 0.5) // content only the fine run resolves
+
+	m, err := coarse.BandlimitedMisfit(fine, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m > 0.15 {
+		t.Fatalf("band-limited misfit %g, want near zero", m)
+	}
+	// raw misfit without band-limiting is large
+	rs, _ := fine.Resample(0.02)
+	n := len(coarse.U)
+	raw, _ := coarse.RMSMisfit(&Trace{Dt: 0.02, U: rs.U[:n], V: rs.V[:n], W: rs.W[:n]})
+	if raw < 2*m {
+		t.Fatalf("raw misfit %g should exceed band-limited %g", raw, m)
+	}
+}

@@ -1,0 +1,114 @@
+package seismo
+
+import "math"
+
+// Engineering ground-motion metrics beyond PGV — the quantities seismic
+// design codes consume (the paper's motivation: "to design proper
+// standards for the seismic protection of buildings").
+
+// AriasIntensity returns Ia = pi/(2g) * integral(a(t)^2 dt) in m/s for the
+// larger horizontal component — the standard cumulative shaking-energy
+// measure.
+func (t *Trace) AriasIntensity() float64 {
+	const g = 9.81
+	comp := t.strongerHorizontal()
+	acc := GroundAcceleration(comp, t.Dt)
+	var sum float64
+	for _, a := range acc {
+		sum += a * a
+	}
+	return math.Pi / (2 * g) * sum * t.Dt
+}
+
+// SignificantDuration returns the D5-95 duration: the time between 5% and
+// 95% of the accumulated Arias intensity — how long the strong shaking
+// lasts (seconds).
+func (t *Trace) SignificantDuration() float64 {
+	comp := t.strongerHorizontal()
+	acc := GroundAcceleration(comp, t.Dt)
+	if len(acc) == 0 {
+		return 0
+	}
+	cum := make([]float64, len(acc))
+	var total float64
+	for i, a := range acc {
+		total += a * a
+		cum[i] = total
+	}
+	if total == 0 {
+		return 0
+	}
+	t5, t95 := -1.0, -1.0
+	for i, c := range cum {
+		if t5 < 0 && c >= 0.05*total {
+			t5 = float64(i) * t.Dt
+		}
+		if c >= 0.95*total {
+			t95 = float64(i) * t.Dt
+			break
+		}
+	}
+	if t5 < 0 || t95 < 0 {
+		return 0
+	}
+	return t95 - t5
+}
+
+// strongerHorizontal picks the horizontal component with the larger peak.
+func (t *Trace) strongerHorizontal() []float32 {
+	var pu, pv float64
+	for i := range t.U {
+		pu = math.Max(pu, math.Abs(float64(t.U[i])))
+		pv = math.Max(pv, math.Abs(float64(t.V[i])))
+	}
+	if pu >= pv {
+		return t.U
+	}
+	return t.V
+}
+
+// GoFScore is a multi-band goodness-of-fit between two seismograms, scored
+// Anderson-style: each frequency band contributes a 0-10 score derived
+// from the band-limited misfit, and the total is the mean. 10 = identical;
+// >= 8 excellent; >= 6 good; >= 4 fair (the conventional interpretation).
+type GoFScore struct {
+	Bands  [][2]float64
+	Scores []float64
+	Total  float64
+}
+
+// GoodnessOfFit scores t against the reference o over the given frequency
+// bands (pairs of [lo, hi] Hz). Bands that cannot be evaluated (beyond
+// Nyquist) are skipped.
+func (t *Trace) GoodnessOfFit(o *Trace, bands [][2]float64) GoFScore {
+	var out GoFScore
+	for _, b := range bands {
+		mis, err := t.BandlimitedMisfit(o, b[0], b[1])
+		if err != nil {
+			continue
+		}
+		// misfit 0 -> 10; misfit >= 1 (100%) -> 0, exponential taper
+		score := 10 * math.Exp(-2.3*mis)
+		out.Bands = append(out.Bands, b)
+		out.Scores = append(out.Scores, score)
+		out.Total += score
+	}
+	if len(out.Scores) > 0 {
+		out.Total /= float64(len(out.Scores))
+	}
+	return out
+}
+
+// StandardBands returns the conventional analysis bands given a usable
+// maximum frequency.
+func StandardBands(fmax float64) [][2]float64 {
+	edges := []float64{0.1, 0.25, 0.5, 1, 2, 4, 8, 16}
+	var out [][2]float64
+	for i := 0; i+1 < len(edges); i++ {
+		if edges[i+1] > fmax {
+			break
+		}
+		out = append(out, [2]float64{edges[i], edges[i+1]})
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package seismo
+
+import (
+	"math"
+	"testing"
+)
+
+// burstTrace builds a trace with a shaking burst between t1 and t2.
+func burstTrace(dt float64, n int, t1, t2, f, amp float64) *Trace {
+	tr := &Trace{Dt: dt, U: make([]float32, n), V: make([]float32, n), W: make([]float32, n)}
+	for i := range tr.U {
+		tt := float64(i) * dt
+		if tt >= t1 && tt <= t2 {
+			tr.U[i] = float32(amp * math.Sin(2*math.Pi*f*tt))
+		}
+	}
+	return tr
+}
+
+func TestAriasIntensityScaling(t *testing.T) {
+	a := burstTrace(0.005, 2000, 2, 6, 2, 0.1)
+	b := burstTrace(0.005, 2000, 2, 6, 2, 0.2) // double amplitude
+	ia, ib := a.AriasIntensity(), b.AriasIntensity()
+	if ia <= 0 {
+		t.Fatal("zero Arias intensity")
+	}
+	// Ia scales with amplitude squared
+	if math.Abs(ib/ia-4) > 0.2 {
+		t.Fatalf("Arias scaling %g, want ~4", ib/ia)
+	}
+	// longer shaking accumulates more
+	c := burstTrace(0.005, 2000, 2, 8, 2, 0.1)
+	if c.AriasIntensity() <= ia {
+		t.Fatal("longer shaking must accumulate more Arias intensity")
+	}
+}
+
+func TestSignificantDuration(t *testing.T) {
+	tr := burstTrace(0.005, 3000, 3, 7, 2, 0.1)
+	d := tr.SignificantDuration()
+	// the burst lasts 4 s; D5-95 captures ~90% of it
+	if d < 2.5 || d > 4.5 {
+		t.Fatalf("D5-95 = %g s for a 4 s burst", d)
+	}
+	quiet := &Trace{Dt: 0.01, U: make([]float32, 100), V: make([]float32, 100), W: make([]float32, 100)}
+	if quiet.SignificantDuration() != 0 {
+		t.Fatal("quiet trace has nonzero duration")
+	}
+}
+
+func TestGoodnessOfFitIdentical(t *testing.T) {
+	tr := burstTrace(0.005, 3000, 2, 8, 1.5, 0.1)
+	gof := tr.GoodnessOfFit(tr, StandardBands(10))
+	if gof.Total < 9.9 {
+		t.Fatalf("self GoF %g, want ~10", gof.Total)
+	}
+	if len(gof.Scores) == 0 {
+		t.Fatal("no bands scored")
+	}
+}
+
+func TestGoodnessOfFitDegrades(t *testing.T) {
+	a := burstTrace(0.005, 3000, 2, 8, 1.5, 0.1)
+	b := burstTrace(0.005, 3000, 2, 8, 1.5, 0.1)
+	// perturb b with noise in the 4-8 Hz band only
+	for i := range b.U {
+		tt := float64(i) * 0.005
+		b.U[i] += float32(0.05 * math.Sin(2*math.Pi*6*tt))
+	}
+	gof := a.GoodnessOfFit(b, StandardBands(10))
+	if gof.Total >= 9.9 {
+		t.Fatal("perturbation not detected")
+	}
+	// the perturbed band must score worse than the clean low band
+	var low, high float64
+	for i, band := range gof.Bands {
+		if band[0] == 0.5 {
+			low = gof.Scores[i]
+		}
+		if band[0] == 4 {
+			high = gof.Scores[i]
+		}
+	}
+	if !(high < low) {
+		t.Fatalf("band discrimination failed: 4-8 Hz %g vs 0.5-1 Hz %g", high, low)
+	}
+}
+
+func TestStandardBands(t *testing.T) {
+	b := StandardBands(10)
+	if len(b) != 6 { // up to [4,8]
+		t.Fatalf("%d bands for fmax=10", len(b))
+	}
+	if b[0] != [2]float64{0.1, 0.25} {
+		t.Fatalf("first band %v", b[0])
+	}
+	if len(StandardBands(0.2)) != 0 {
+		t.Fatal("bands beyond fmax")
+	}
+}

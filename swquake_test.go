@@ -1,0 +1,180 @@
+package swquake
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartRuns(t *testing.T) {
+	cfg := QuickstartConfig()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Recorder.Trace("station-0")
+	if tr == nil || tr.PeakVelocity() <= 0 {
+		t.Fatal("quickstart produced no signal")
+	}
+	if res.PGV.Max() <= 0 {
+		t.Fatal("quickstart produced no PGV")
+	}
+}
+
+func TestQuickstartParallelAgrees(t *testing.T) {
+	cfg := QuickstartConfig()
+	cfg.Steps = 40
+
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial.Recorder.Trace("station-0"), par.Recorder.Trace("station-0")
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatalf("parallel quickstart diverges at sample %d", i)
+		}
+	}
+}
+
+func TestTangshanScenarioConfig(t *testing.T) {
+	s := TangshanScenario{
+		Dims: Dims{Nx: 40, Ny: 39, Nz: 16}, Dx: 400, Steps: 30, Nonlinear: true,
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Nonlinear || cfg.Plasticity.Cohesion <= 0 {
+		t.Fatal("nonlinear scenario not configured")
+	}
+	if len(cfg.Stations) != 3 {
+		t.Fatalf("%d stations", len(cfg.Stations))
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Ninghe", "Cangzhou", "Beijing"} {
+		if res.Recorder.Trace(name) == nil {
+			t.Fatalf("station %s missing", name)
+		}
+	}
+	// Ninghe (near-fault, in-basin) must shake harder than distant Cangzhou
+	nin := res.Recorder.Trace("Ninghe").PeakVelocity()
+	can := res.Recorder.Trace("Cangzhou").PeakVelocity()
+	if !(nin > can) {
+		t.Fatalf("Ninghe %g should exceed Cangzhou %g", nin, can)
+	}
+
+	bad := s
+	bad.Dx = 0
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestRupturePipeline(t *testing.T) {
+	// dynamic rupture -> sources -> ground motion, end to end through the
+	// public API (the paper's complete-cycle workflow)
+	d := Dims{Nx: 40, Ny: 20, Nz: 20}
+	dx := 100.0
+	mat := Material{Vp: 4000, Vs: 2310, Rho: 2500}
+	med := NewMediumFromModel(d, dx, homogeneous{mat}, 0, 0)
+
+	rcfg := TangshanRuptureConfig(d, dx)
+	dt := 0.8 * 0.49 * dx / mat.Vp
+	rres, err := SimulateRupture(rcfg, med, dx, dt, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.RupturedFraction() <= 0 {
+		t.Fatal("rupture did not start")
+	}
+	srcs := rres.Sources(med, 2)
+	if len(srcs) == 0 {
+		t.Fatal("no sources from rupture")
+	}
+
+	cfg := Config{
+		Dims: d, Dx: dx, Steps: 50,
+		Model:       homogeneous{mat},
+		Sources:     srcs,
+		Stations:    []Station{{Name: "S", I: 5, J: 5, K: 0}},
+		SpongeWidth: 4,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder.Trace("S").PeakVelocity() <= 0 {
+		t.Fatal("rupture sources radiated nothing")
+	}
+}
+
+// homogeneous is a minimal Model for tests.
+type homogeneous struct{ m Material }
+
+func (h homogeneous) Sample(_, _, _ float64) Material { return h.m }
+
+func TestIntensityFromPGV(t *testing.T) {
+	if math.Abs(IntensityFromPGV(1)-9.77) > 0.01 {
+		t.Fatal("intensity relation wrong")
+	}
+}
+
+func TestRunManifest(t *testing.T) {
+	cfg := QuickstartConfig()
+	cfg.Steps = 20
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewRunManifest(cfg, res)
+	if m.Steps != 20 || m.Dt <= 0 || m.Flops <= 0 {
+		t.Fatalf("manifest incomplete: %+v", m)
+	}
+	if len(m.Stations) != 1 || m.Stations[0].Name != "station-0" {
+		t.Fatalf("stations %+v", m.Stations)
+	}
+	if m.SurfacePGV <= 0 {
+		t.Fatal("surface PGV missing")
+	}
+	path := t.TempDir() + "/run.json"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRunManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != m.Steps || got.Stations[0].PGV != m.Stations[0].PGV {
+		t.Fatal("manifest round trip mismatch")
+	}
+	if _, err := LoadRunManifest("/no/such/file"); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}
