@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet test race bench repro fuzz clean
+.PHONY: all build check vet test race bench repro fuzz clean
 
-all: build vet test
+all: build check test
 
 build:
 	$(GO) build ./...
+
+# static analysis plus the race-sensitive engine packages (the simulated-MPI
+# world and the step-pipeline drivers) under the race detector
+check: vet
+	$(GO) test -race ./internal/core/... ./internal/mpi/...
 
 vet:
 	$(GO) vet ./...

@@ -10,6 +10,13 @@
 //	quakesim -scenario tangshan -nx 80 -ny 78 -nz 28 -dx 400 -steps 300 -nonlinear
 //	quakesim -scenario tangshan -compress normalized -out /tmp/run
 //	quakesim -scenario quickstart -parallel 2x2
+//
+// Checkpointing works the same serially and in parallel (parallel runs
+// gather the blocks to rank 0 and write one global dump), and either layer
+// can resume the other's dump:
+//
+//	quakesim -scenario quickstart -parallel 2x2 -checkpoint-every 100 -out /tmp/run
+//	quakesim -scenario quickstart -parallel 2x2 -restart /tmp/run/ckpt-00000100.swq
 package main
 
 import (
@@ -52,6 +59,7 @@ func run(args []string, w io.Writer) error {
 		comp      = fs.String("compress", "off", "compression: off, half, adaptive, normalized")
 		parallel  = fs.String("parallel", "", "process grid MXxMY, e.g. 2x2 (simulated MPI)")
 		ckptEvery = fs.Int("checkpoint-every", 0, "write an LZ4 checkpoint every N steps")
+		restart   = fs.String("restart", "", "resume from a checkpoint file (-steps stays the TOTAL count)")
 		outDir    = fs.String("out", "", "directory for CSV traces and PGM maps")
 		modelPath = fs.String("model", "", "SWVM velocity-model file (see cmd/mkmodel)")
 		qs        = fs.Float64("qs", 0, "constant Qs attenuation (Qp = 2 Qs); 0 = elastic")
@@ -100,7 +108,14 @@ func run(args []string, w io.Writer) error {
 		if dir == "" {
 			dir = "."
 		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
 		cfg.Checkpoint = &checkpoint.Controller{Dir: dir, Interval: *ckptEvery, Keep: 3}
+	}
+	if *restart != "" {
+		fmt.Fprintf(w, "resuming from checkpoint %s\n", *restart)
+		cfg.RestartFrom = *restart
 	}
 
 	start := time.Now()
@@ -283,8 +298,14 @@ func runWithSnapshots(sim *core.Simulator, cfg core.Config, interval int, dir st
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	for n := 0; n < cfg.Steps; n++ {
+	if cfg.RestartFrom != "" {
+		if err := sim.Restore(cfg.RestartFrom); err != nil {
+			return nil, err
+		}
+	}
+	for sim.StepCount() < cfg.Steps {
 		sim.Step()
+		n := sim.StepCount() - 1
 		if (n+1)%interval == 0 {
 			snap := seismo.Snapshot(sim.WF, 0)
 			var vmax float64

@@ -45,6 +45,24 @@ type Stats struct {
 	Tiles        int
 }
 
+// Add folds another core group's accounting into s — RunParallel sums the
+// per-rank executors into one run total. Traffic, flops and seconds
+// accumulate; LDMPeakBytes is a maximum.
+func (s *Stats) Add(o Stats) {
+	s.DMAGetBytes += o.DMAGetBytes
+	s.DMAPutBytes += o.DMAPutBytes
+	s.DMATransfers += o.DMATransfers
+	s.Flops += o.Flops
+	s.RegCommWords += o.RegCommWords
+	s.DMASeconds += o.DMASeconds
+	s.ComputeSeconds += o.ComputeSeconds
+	s.RegSeconds += o.RegSeconds
+	if o.LDMPeakBytes > s.LDMPeakBytes {
+		s.LDMPeakBytes = o.LDMPeakBytes
+	}
+	s.Tiles += o.Tiles
+}
+
 // StepSeconds is the simulated wall time on one core group: the roofline
 // max of the serialized memory leg and the parallel compute+register leg.
 func (s Stats) StepSeconds() float64 {

@@ -138,9 +138,16 @@ type Controller struct {
 	saved    []string
 }
 
+// Due reports whether a checkpoint falls on this step — the interval test
+// MaybeSave applies, exposed so parallel ranks can agree collectively that
+// a gather is needed before any of them starts one.
+func (c *Controller) Due(step int) bool {
+	return c.Interval > 0 && step != 0 && step%c.Interval == 0
+}
+
 // MaybeSave checkpoints when the step is a multiple of Interval.
 func (c *Controller) MaybeSave(step int, simTime float64, wf *fd.Wavefield) (Info, bool, error) {
-	if c.Interval <= 0 || step == 0 || step%c.Interval != 0 {
+	if !c.Due(step) {
 		return Info{}, false, nil
 	}
 	path := filepath.Join(c.Dir, fmt.Sprintf("ckpt-%08d.swq", step))

@@ -5,7 +5,6 @@ import (
 
 	"swquake/internal/compress"
 	"swquake/internal/fd"
-	"swquake/internal/plasticity"
 )
 
 // compressedState keeps the nine dynamic fields as 16-bit codes in "main
@@ -54,9 +53,10 @@ func (cs *compressedState) encodeAll(wf *fd.Wavefield) {
 func (cs *compressedState) velocity() []*compress.Field { return cs.fields[:3] }
 func (cs *compressedState) stress() []*compress.Field   { return cs.fields[3:] }
 
-// The compressed time step is split into phases so the parallel runner can
-// interleave halo exchanges between them; the serial step runs them
-// back-to-back.
+// The compressed storage hooks below plug into the step pipeline
+// (pipeline.go): decode before the velocity phase, round-trip the
+// velocities before the stress kernel reads them, re-encode everything
+// after the sponge, and refresh exchanged stress ghosts in parallel runs.
 
 // compDecodeAll decodes every field (all z planes including halos) into
 // the float32 working buffers, slab by slab.
@@ -73,20 +73,17 @@ func (s *Simulator) compDecodeAll() {
 	}
 }
 
-// compVelocityPass advances the velocities slab by slab and round-trips
-// them through compressed storage (the dstrqc kernel must read the
-// velocities exactly as stored).
-func (s *Simulator) compVelocityPass(dtdx float32) {
+// compRoundtripVelocities encodes the freshly updated velocities into
+// compressed storage and decodes them back, slab by slab, so the stress
+// kernel reads the velocities exactly as stored (the dstrqc side of
+// Fig. 5b — this intra-step round-trip is where the paper's accuracy loss
+// comes from).
+func (s *Simulator) compRoundtripVelocities() {
 	wf := s.WF
 	cs := s.comp
 	h := fd.Halo
 	nz := s.Cfg.Dims.Nz
 	velF := wf.VelocityFields()
-
-	fd.ApplyFreeSurface(wf)
-	for k0 := 0; k0 < nz; k0 += cs.slab {
-		fd.UpdateVelocity(wf, s.Med, dtdx, k0, minI(k0+cs.slab, nz))
-	}
 	for k0 := -h; k0 < nz+h; k0 += cs.slab {
 		for i, cf := range cs.velocity() {
 			cf.EncodeSlab(velF[i], k0, k0+cs.slab)
@@ -95,36 +92,6 @@ func (s *Simulator) compVelocityPass(dtdx float32) {
 	for k0 := -h; k0 < nz+h; k0 += cs.slab {
 		for i, cf := range cs.velocity() {
 			cf.DecodeSlab(velF[i], k0, k0+cs.slab)
-		}
-	}
-}
-
-// compStressPass advances the stresses (with source injection, plasticity,
-// attenuation and sponge) slab by slab on the decoded buffers.
-func (s *Simulator) compStressPass(dtdx float32) {
-	wf := s.WF
-	cs := s.comp
-	nz := s.Cfg.Dims.Nz
-
-	fd.ApplyFreeSurface(wf)
-	if s.sls != nil {
-		s.sls.Before(wf)
-	}
-	for k0 := 0; k0 < nz; k0 += cs.slab {
-		k1 := minI(k0+cs.slab, nz)
-		fd.UpdateStress(wf, s.Med, dtdx, k0, k1)
-		if s.sls != nil {
-			s.sls.After(wf, s.Cfg.Dt, k0, k1)
-		}
-		s.srcs.Inject(wf, s.simTime, s.Cfg.Dt, s.Cfg.Dx, k0, k1)
-		if s.Plas != nil {
-			s.yielded += int64(plasticity.Apply(wf, s.Plas, s.Cfg.Dt, k0, k1))
-		}
-		if s.atten != nil {
-			s.atten.Apply(wf, k0, k1)
-		}
-		if s.sponge != nil {
-			s.sponge.Apply(wf, k0, k1)
 		}
 	}
 }
@@ -162,16 +129,6 @@ func (s *Simulator) compEncodeStressGhosts() {
 			cf.EncodeSlab(strF[i], k0, k0+cs.slab)
 		}
 	}
-}
-
-// stepCompressed advances one time step with compressed main storage.
-func (s *Simulator) stepCompressed() {
-	s.countKernels()
-	dtdx := float32(s.Cfg.Dt / s.Cfg.Dx)
-	s.compDecodeAll()
-	s.compVelocityPass(dtdx)
-	s.compStressPass(dtdx)
-	s.compStoreAll()
 }
 
 func minI(a, b int) int {

@@ -5,8 +5,13 @@
 // surface, injects moment-tensor or rupture-derived sources, records
 // seismograms/PGV, writes LZ4 checkpoints, and optionally keeps all nine
 // wavefields in 16-bit compressed storage with the decompress–compute–
-// compress workflow of §6.5. RunParallel executes the same physics over
-// the simulated-MPI 2D process decomposition of §6.3.
+// compress workflow of §6.5.
+//
+// All of it runs through one step-pipeline engine (pipeline.go): the
+// serial Run, the simulated-MPI RunParallel of §6.3 and every execution
+// strategy of Fig. 7 drive the same stage sequence via the Exchanger and
+// Backend seams, so features (checkpointing, divergence detection, perf
+// accounting, the core-group simulator) behave identically on every path.
 package core
 
 import (
@@ -98,11 +103,21 @@ type Config struct {
 	// SunwaySim executes the velocity/stress kernels tile-by-tile through
 	// the simulated SW26010 core group (package cgexec): results are
 	// bit-identical, and Result.Sunway reports the simulated on-machine
-	// time, DMA traffic and bandwidth. Serial, uncompressed runs only.
+	// time, DMA traffic and bandwidth (summed over ranks under
+	// RunParallel). Uncompressed runs only.
 	SunwaySim bool
 
-	// Checkpoint, when non-nil, saves restart dumps during Run.
+	// Checkpoint, when non-nil, saves restart dumps during the run. Under
+	// RunParallel the blocks are gathered to rank 0, which writes one
+	// global dump interchangeable with a serial run's.
 	Checkpoint *checkpoint.Controller
+
+	// RestartFrom, when non-empty, resumes from the named checkpoint
+	// before stepping: Run restores the global wavefield, RunParallel has
+	// every rank extract its block (plus halos) from the global dump.
+	// Steps is then the TOTAL step count of the simulation, so a run
+	// checkpointed at step N performs Steps-N further steps.
+	RestartFrom string
 }
 
 // Validate checks the configuration and fills defaults in place.

@@ -2,35 +2,37 @@ package core
 
 import (
 	"fmt"
-	"sync"
+	"math"
 
+	"swquake/internal/cgexec"
+	"swquake/internal/checkpoint"
 	"swquake/internal/decomp"
 	"swquake/internal/fd"
 	"swquake/internal/grid"
 	"swquake/internal/mpi"
-	"swquake/internal/plasticity"
 	"swquake/internal/seismo"
 	"swquake/internal/source"
 )
 
 // RunParallel executes the configured simulation over an mx x my process
 // grid of simulated MPI ranks (paper §6.3 level 1): each rank owns one
-// block of the horizontal plane, exchanges velocity halos after the
-// velocity update and stress halos after the stress update, and the
-// results (traces, PGV, yielded counts) are merged as if gathered to rank
-// 0. The parallel run is numerically identical to the serial one — the
-// cross-check tests rely on that — including in compressed-storage mode,
-// where ranks exchange the decoded (round-tripped) halo values so ghost
-// data matches the serial run bit for bit.
+// block of the horizontal plane and drives the same step pipeline as the
+// serial runner, with an Exchanger that swaps velocity halos after the
+// velocity update and stress halos after the stress update. The parallel
+// run is numerically identical to the serial one — the cross-check tests
+// rely on that — including in compressed-storage mode, where ranks exchange
+// the decoded (round-tripped) halo values so ghost data matches the serial
+// run bit for bit.
 //
-// Checkpointing is a serial-runner feature; RunParallel rejects
-// configurations that request it.
+// Feature parity with the serial runner is complete: checkpoints are
+// gathered to rank 0 and written as one global dump (readable by serial or
+// parallel restarts via Config.RestartFrom), divergence is detected
+// collectively, Result.Perf sums the per-rank kernel counters, and
+// Result.Sunway aggregates the simulated core-group stats when
+// Config.SunwaySim is set.
 func RunParallel(cfg Config, mx, my int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if cfg.Checkpoint != nil {
-		return nil, fmt.Errorf("core: RunParallel does not support checkpointing")
 	}
 	pg, err := decomp.NewProcessGrid(cfg.Dims.Nx, cfg.Dims.Ny, cfg.Dims.Nz, mx, my)
 	if err != nil {
@@ -41,114 +43,17 @@ func RunParallel(cfg Config, mx, my int) (*Result, error) {
 		return nil, err
 	}
 
-	block := pg.BlockDims()
-	world := mpi.NewWorld(pg.Size())
-
-	type rankOut struct {
-		rec     *seismo.Recorder
-		pgv     *seismo.PGVField
-		offI    int
-		offJ    int
-		yielded int64
-		err     error
-	}
+	// each rank writes only its own outs slot, so the merge below needs no
+	// locking (world.Run joins every rank goroutine before returning)
 	outs := make([]rankOut, pg.Size())
-	var failMu sync.Mutex
-
+	world := mpi.NewWorld(pg.Size())
+	runStart := timeNow()
 	world.Run(func(r *mpi.Rank) {
-		out := &outs[r.ID()]
-		i0, j0 := pg.Offset(r.ID())
-		out.offI, out.offJ = i0, j0
-
-		local := cfg
-		local.Dims = block
-		local.OriginX = cfg.OriginX + float64(i0)*cfg.Dx
-		local.OriginY = cfg.OriginY + float64(j0)*cfg.Dx
-		local.Sources = srcParts[r.ID()]
-		local.Stations = nil
-		for _, st := range cfg.Stations {
-			if st.I >= i0 && st.I < i0+block.Nx && st.J >= j0 && st.J < j0+block.Ny {
-				local.Stations = append(local.Stations,
-					seismo.Station{Name: st.Name, I: st.I - i0, J: st.J - j0, K: st.K})
-			}
-		}
-		// sponge width can exceed the local block; disable validation issue
-		// by building the sponge manually below
-		spongeWidth := local.SpongeWidth
-		local.SpongeWidth = 0
-
-		sim, err := New(local)
-		if err != nil {
-			failMu.Lock()
-			out.err = err
-			failMu.Unlock()
-			return
-		}
-		if spongeWidth > 0 {
-			alpha := cfg.SpongeAlpha
-			if alpha <= 0 {
-				alpha = 0.08
-			}
-			sim.sponge = fd.NewSpongeGlobal(cfg.Dims.Nx, cfg.Dims.Ny, cfg.Dims.Nz,
-				spongeWidth, alpha, i0, j0, block.Nx, block.Ny, block.Nz)
-		}
-		// all ranks must agree on dt: take the global CFL minimum, then
-		// refresh everything derived from it
-		sim.Cfg.Dt = r.AllreduceMax(-sim.Cfg.Dt) * -1
-		sim.rebuildForDt()
-
-		for n := 0; n < cfg.Steps; n++ {
-			dtdx := float32(sim.Cfg.Dt / cfg.Dx)
-			if sim.comp != nil {
-				// compressed step with exchanges between the phases: the
-				// neighbours exchange the DECODED (round-tripped) values, so
-				// ghost data is bit-identical to what a serial compressed
-				// run holds at the same global positions
-				sim.countKernels()
-				sim.compDecodeAll()
-				sim.compVelocityPass(dtdx)
-				exchangeHalos(r, pg, sim.WF.VelocityFields(), n*2)
-				sim.compStressPass(dtdx)
-				sim.compStoreAll()
-				exchangeHalos(r, pg, sim.WF.StressFields(), n*2+1)
-				sim.compEncodeStressGhosts()
-			} else {
-				fd.ApplyFreeSurface(sim.WF)
-				fd.UpdateVelocity(sim.WF, sim.Med, dtdx, 0, block.Nz)
-				exchangeHalos(r, pg, sim.WF.VelocityFields(), n*2)
-				fd.ApplyFreeSurface(sim.WF)
-				if sim.sls != nil {
-					sim.sls.Before(sim.WF)
-				}
-				fd.UpdateStress(sim.WF, sim.Med, dtdx, 0, block.Nz)
-				if sim.sls != nil {
-					sim.sls.After(sim.WF, sim.Cfg.Dt, 0, block.Nz)
-				}
-				sim.srcs.Inject(sim.WF, sim.simTime, sim.Cfg.Dt, cfg.Dx, 0, block.Nz)
-				if sim.Plas != nil {
-					sim.yielded += int64(plasticity.Apply(sim.WF, sim.Plas, sim.Cfg.Dt, 0, block.Nz))
-				}
-				if sim.atten != nil {
-					sim.atten.Apply(sim.WF, 0, block.Nz)
-				}
-				if sim.sponge != nil {
-					sim.sponge.Apply(sim.WF, 0, block.Nz)
-				}
-				exchangeHalos(r, pg, sim.WF.StressFields(), n*2+1)
-			}
-			sim.step++
-			sim.simTime += sim.Cfg.Dt
-			sim.rec.Record(sim.WF)
-			if sim.pgv != nil {
-				sim.pgv.Update(sim.WF)
-			}
-		}
-		out.rec = sim.rec
-		out.pgv = sim.pgv
-		out.yielded = sim.yielded
+		runRank(r, pg, cfg, srcParts[r.ID()], &outs[r.ID()])
 	})
+	elapsed := timeNow().Sub(runStart)
 
-	// merge
+	// merge, as if gathered to rank 0
 	res := &Result{}
 	merged := seismo.NewRecorder(nil, 1, 1)
 	if cfg.RecordPGV {
@@ -165,24 +70,230 @@ func RunParallel(cfg Config, mx, my int) (*Result, error) {
 				g.Station.I += o.offI
 				g.Station.J += o.offJ
 				merged.Traces = append(merged.Traces, &g)
-				res.Dt = tr.Dt
 			}
 		}
 		if o.pgv != nil && res.PGV != nil {
-			for i := 0; i < o.pgv.Nx; i++ {
-				for j := 0; j < o.pgv.Ny; j++ {
-					gi, gj := o.offI+i, o.offJ+j
-					if v := o.pgv.At(i, j); v > res.PGV.At(gi, gj) {
-						res.PGV.PGV[gi*res.PGV.Ny+gj] = v
-					}
-				}
-			}
+			res.PGV.Merge(o.pgv, o.offI, o.offJ)
 		}
 		res.YieldedPointSteps += o.yielded
+		res.Perf.AddCounters(o.perf)
+		if o.sunway != nil {
+			if res.Sunway == nil {
+				res.Sunway = &cgexec.Stats{}
+			}
+			res.Sunway.Add(*o.sunway)
+		}
+		res.Checkpoints = append(res.Checkpoints, o.checkpoints...)
 	}
 	res.Recorder = merged
-	res.Steps = cfg.Steps
+	res.Dt = outs[0].dt
+	res.Steps = outs[0].steps
+	res.Perf.Steps = outs[0].perf.Steps
+	res.Perf.Elapsed = elapsed
 	return res, nil
+}
+
+// rankOut is what one rank reports back to the merge step.
+type rankOut struct {
+	rec         *seismo.Recorder
+	pgv         *seismo.PGVField
+	offI, offJ  int
+	yielded     int64
+	dt          float64
+	steps       int
+	perf        Perf
+	sunway      *cgexec.Stats
+	checkpoints []checkpoint.Info
+	err         error
+}
+
+// runRank is the per-rank body of RunParallel: build the local simulator,
+// agree on dt, optionally restore a checkpoint block, and drive the step
+// pipeline with the halo Exchanger.
+func runRank(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, srcs []source.PointSource, out *rankOut) {
+	i0, j0 := pg.Offset(r.ID())
+	out.offI, out.offJ = i0, j0
+	block := pg.BlockDims()
+
+	local := cfg
+	local.Dims = block
+	local.OriginX = cfg.OriginX + float64(i0)*cfg.Dx
+	local.OriginY = cfg.OriginY + float64(j0)*cfg.Dx
+	local.Sources = srcs
+	local.Stations = nil
+	for _, st := range cfg.Stations {
+		if st.I >= i0 && st.I < i0+block.Nx && st.J >= j0 && st.J < j0+block.Ny {
+			local.Stations = append(local.Stations,
+				seismo.Station{Name: st.Name, I: st.I - i0, J: st.J - j0, K: st.K})
+		}
+	}
+	// the shared controller and the global restart dump are rank-collective
+	// concerns handled below, not per-block simulator features
+	local.Checkpoint = nil
+	local.RestartFrom = ""
+	// sponge width can exceed the local block; build the globally shaped
+	// profile manually below instead of tripping block-local validation
+	spongeWidth := local.SpongeWidth
+	local.SpongeWidth = 0
+
+	sim, err := New(local)
+	// collective health check: if any rank failed setup, every rank learns
+	// it here and returns, instead of deadlocking its neighbours
+	if collectiveFailed(r, err) {
+		out.err = rankErr(err)
+		return
+	}
+	if spongeWidth > 0 {
+		alpha := cfg.SpongeAlpha
+		if alpha <= 0 {
+			alpha = 0.08
+		}
+		sim.sponge = fd.NewSpongeGlobal(cfg.Dims.Nx, cfg.Dims.Ny, cfg.Dims.Nz,
+			spongeWidth, alpha, i0, j0, block.Nx, block.Ny, block.Nz)
+	}
+	// all ranks must agree on dt: take the global CFL minimum, then
+	// refresh everything derived from it
+	sim.Cfg.Dt = r.AllreduceMax(-sim.Cfg.Dt) * -1
+	sim.rebuildForDt()
+	out.dt = sim.Cfg.Dt
+
+	if cfg.RestartFrom != "" {
+		err := sim.restoreBlock(cfg.RestartFrom, cfg.Dims, i0, j0)
+		if collectiveFailed(r, err) {
+			out.err = rankErr(err)
+			return
+		}
+	}
+
+	ex := &haloExchanger{r: r, pg: pg}
+	for sim.step < cfg.Steps {
+		sim.stepWith(ex)
+		if cfg.Checkpoint != nil && cfg.Checkpoint.Due(sim.step) {
+			infos, err := parallelCheckpoint(r, pg, cfg, sim)
+			if err != nil {
+				out.err = err
+				return
+			}
+			out.checkpoints = append(out.checkpoints, infos...)
+		}
+		// divergence detection is collective so every rank stops together
+		m := float64(sim.WF.MaxAbsVelocity())
+		if math.IsNaN(m) {
+			m = math.Inf(1)
+		}
+		if g := r.AllreduceMax(m); g > 1e6 {
+			out.err = fmt.Errorf("solution diverged at step %d (max |v| = %g)", sim.step, g)
+			return
+		}
+	}
+	out.rec = sim.rec
+	out.pgv = sim.pgv
+	out.yielded = sim.yielded
+	out.perf = sim.perf
+	out.steps = sim.step
+	if sim.cgx != nil {
+		stats := sim.cgx.Stats
+		out.sunway = &stats
+	}
+}
+
+// collectiveFailed reduces a local error across all ranks; it returns true
+// on every rank if any rank failed.
+func collectiveFailed(r *mpi.Rank, err error) bool {
+	flag := 0.0
+	if err != nil {
+		flag = 1
+	}
+	return r.AllreduceMax(flag) > 0
+}
+
+// rankErr fills in a placeholder for ranks aborting on another rank's error.
+func rankErr(err error) error {
+	if err == nil {
+		return fmt.Errorf("aborted: another rank failed")
+	}
+	return err
+}
+
+// restoreBlock loads a GLOBAL checkpoint and extracts this rank's block,
+// interior plus ghost layers (see checkpoint.ExtractBlock for why that is
+// bit-exact), then resumes the simulator clock from the dump.
+func (s *Simulator) restoreBlock(path string, global grid.Dims, i0, j0 int) error {
+	step, tm, gwf, err := checkpoint.Load(path)
+	if err != nil {
+		return err
+	}
+	if gwf.D != global {
+		return fmt.Errorf("core: checkpoint dims %v do not match run %v", gwf.D, global)
+	}
+	wf, err := checkpoint.ExtractBlock(gwf, s.Cfg.Dims, i0, j0)
+	if err != nil {
+		return err
+	}
+	s.WF = wf
+	s.step = step
+	s.simTime = tm
+	if s.comp != nil {
+		s.comp.encodeAll(s.WF)
+	}
+	return nil
+}
+
+// parallelCheckpoint gathers every rank's interior block to rank 0, which
+// assembles the global wavefield and drives the shared checkpoint
+// controller — the paper's gather-to-I/O-process restart path. The save
+// status is broadcast so all ranks agree on failure and stop together.
+func parallelCheckpoint(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, sim *Simulator) ([]checkpoint.Info, error) {
+	parts := r.Gather(0, checkpoint.PackInterior(sim.WF))
+	status := []float32{0}
+	var infos []checkpoint.Info
+	var saveErr error
+	if r.ID() == 0 {
+		global := fd.NewWavefield(cfg.Dims)
+		for id, part := range parts {
+			bi, bj := pg.Offset(id)
+			if err := checkpoint.UnpackInterior(global, pg.BlockDims(), bi, bj, part); err != nil {
+				saveErr = err
+				break
+			}
+		}
+		if saveErr == nil {
+			info, saved, err := cfg.Checkpoint.MaybeSave(sim.step, sim.simTime, global)
+			saveErr = err
+			if err == nil && saved {
+				infos = append(infos, info)
+			}
+		}
+		if saveErr != nil {
+			status[0] = 1
+		}
+	} else {
+		status = nil
+	}
+	if st := r.Bcast(0, status); st[0] != 0 {
+		if saveErr == nil {
+			saveErr = fmt.Errorf("checkpoint failed on rank 0")
+		}
+		return nil, saveErr
+	}
+	return infos, saveErr
+}
+
+// haloExchanger is the RunParallel Exchanger: the 2D halo protocol over the
+// simulated MPI world, tagged per step and phase.
+type haloExchanger struct {
+	r  *mpi.Rank
+	pg *decomp.ProcessGrid
+}
+
+func (h *haloExchanger) ExchangeVelocity(wf *fd.Wavefield, step int) bool {
+	exchangeHalos(h.r, h.pg, wf.VelocityFields(), step*2)
+	return true
+}
+
+func (h *haloExchanger) ExchangeStress(wf *fd.Wavefield, step int) bool {
+	exchangeHalos(h.r, h.pg, wf.StressFields(), step*2+1)
+	return true
 }
 
 // exchangeHalos performs the 2D halo exchange for the given fields: the y

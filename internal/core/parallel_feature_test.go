@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"swquake/internal/checkpoint"
+	"swquake/internal/compress"
+	"swquake/internal/source"
+)
+
+// TestParallelFullPhysicsMatchesSerial stacks every optional subsystem at
+// once — plasticity, SLS attenuation, sponge, 16-bit compressed storage —
+// and requires the parallel run to stay bit-identical to the serial one.
+// This is the strongest exercise of the single step pipeline: any drift in
+// stage ordering between the serial and parallel drivers shows up here.
+func TestParallelFullPhysicsMatchesSerial(t *testing.T) {
+	cfg := heterogeneousConfig()
+	cfg.Nonlinear = true
+	cfg.Plasticity = PlasticityConfig{
+		Cohesion:      5e4,
+		FrictionAngle: 30 * math.Pi / 180,
+		Lithostatic:   true,
+	}
+	cfg.Attenuation = AttenuationConfig{Enabled: true, UseSLS: true, F0: 3, Qp: 60, Qs: 30}
+	stats, err := CalibrateCompression(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Compression = CompressionConfig{Method: compress.Normalized, Stats: stats}
+
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.YieldedPointSteps != par.YieldedPointSteps {
+		t.Fatalf("yield counts differ: %d vs %d", serial.YieldedPointSteps, par.YieldedPointSteps)
+	}
+	for _, name := range []string{"S1", "S2"} {
+		a, b := serial.Recorder.Trace(name), par.Recorder.Trace(name)
+		if b == nil || len(a.U) != len(b.U) {
+			t.Fatalf("%s trace shape mismatch", name)
+		}
+		for i := range a.U {
+			if a.U[i] != b.U[i] || a.V[i] != b.V[i] || a.W[i] != b.W[i] {
+				t.Fatalf("full-physics parallel diverges at %s sample %d: %g vs %g",
+					name, i, a.U[i], b.U[i])
+			}
+		}
+	}
+	for i := 0; i < cfg.Dims.Nx; i++ {
+		for j := 0; j < cfg.Dims.Ny; j++ {
+			if serial.PGV.At(i, j) != par.PGV.At(i, j) {
+				t.Fatalf("PGV differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestParallelCheckpointRestartResumesExactly checkpoints a parallel run
+// (gathered to rank 0, written as one global dump), resumes it in parallel
+// via Config.RestartFrom, and requires the resumed traces to continue the
+// uninterrupted serial reference bit-exactly. The same dump also restarts a
+// serial run — the parallel and serial restart paths are interchangeable.
+func TestParallelCheckpointRestartResumesExactly(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Steps = 40
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTr := refRes.Recorder.Trace("S1")
+
+	dir := t.TempDir()
+	half := cfg
+	half.Steps = 20
+	half.Checkpoint = &checkpoint.Controller{Dir: dir, Interval: 20, Keep: 2}
+	halfRes, err := RunParallel(half, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(halfRes.Checkpoints) != 1 {
+		t.Fatalf("%d checkpoints written", len(halfRes.Checkpoints))
+	}
+	if halfRes.Checkpoints[0].CompressionRatio <= 1 {
+		t.Fatal("checkpoint not compressed")
+	}
+
+	resume := cfg
+	resume.RestartFrom = half.Checkpoint.Latest()
+	resume.Steps = 40
+	resumed, err := RunParallel(resume, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Steps != 40 {
+		t.Fatalf("resumed run ended at step %d", resumed.Steps)
+	}
+	tr := resumed.Recorder.Trace("S1")
+	if len(tr.U) != 20 {
+		t.Fatalf("resumed trace has %d samples, want 20", len(tr.U))
+	}
+	for i := range tr.U {
+		if tr.U[i] != refTr.U[20+i] || tr.V[i] != refTr.V[20+i] || tr.W[i] != refTr.W[20+i] {
+			t.Fatalf("parallel restart diverges at sample %d: %g vs %g",
+				i, tr.U[i], refTr.U[20+i])
+		}
+	}
+
+	// cross-layer: a SERIAL run restarted from the parallel dump must agree
+	serialResume := cfg
+	serialResume.RestartFrom = half.Checkpoint.Latest()
+	ssim, err := New(serialResume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := ssim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := sres.Recorder.Trace("S1")
+	for i := range str.U {
+		if str.U[i] != refTr.U[20+i] {
+			t.Fatalf("serial restart from parallel dump diverges at sample %d", i)
+		}
+	}
+}
+
+// TestParallelPerfAndSunwayStats runs the simulated core-group executor
+// under RunParallel and checks that the per-rank kernel counters and
+// simulated-hardware accounting are aggregated into the Result.
+func TestParallelPerfAndSunwayStats(t *testing.T) {
+	cfg := heterogeneousConfig()
+	cfg.SunwaySim = true
+
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := serial.Recorder.Trace("S1"), par.Recorder.Trace("S1")
+	for i := range a.U {
+		if a.U[i] != b.U[i] {
+			t.Fatalf("SunwaySim parallel diverges at sample %d", i)
+		}
+	}
+	wantPts := cfg.Dims.Points() * int64(cfg.Steps)
+	if par.Perf.VelocityPoints != wantPts {
+		t.Fatalf("velocity points %d, want %d", par.Perf.VelocityPoints, wantPts)
+	}
+	if par.Perf.Steps != int64(cfg.Steps) {
+		t.Fatalf("perf steps %d, want %d", par.Perf.Steps, cfg.Steps)
+	}
+	if par.Perf.Elapsed <= 0 {
+		t.Fatal("perf elapsed not measured")
+	}
+	if par.Sunway == nil {
+		t.Fatal("Sunway stats missing under RunParallel")
+	}
+	if par.Sunway.DMAGetBytes <= 0 || par.Sunway.Flops <= 0 || par.Sunway.Tiles <= 0 {
+		t.Fatalf("Sunway stats not aggregated: %+v", par.Sunway)
+	}
+	if par.Sunway.LDMPeakBytes <= 0 {
+		t.Fatal("LDM peak not tracked")
+	}
+}
+
+// TestParallelDtWithoutStations: Result.Dt must report the agreed global
+// time step even when no rank owns a station (it used to stay zero).
+func TestParallelDtWithoutStations(t *testing.T) {
+	cfg := heterogeneousConfig()
+	cfg.Stations = nil
+
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Dt <= 0 {
+		t.Fatalf("parallel Dt not reported: %g", par.Dt)
+	}
+	if par.Dt != serialSim.Dt() {
+		t.Fatalf("parallel dt %g != serial dt %g", par.Dt, serialSim.Dt())
+	}
+	if par.Perf.VelocityPoints != cfg.Dims.Points()*int64(cfg.Steps) {
+		t.Fatal("perf counters not merged")
+	}
+}
+
+// TestParallelDivergenceDetected: an unstable run must fail collectively
+// with a divergence error instead of deadlocking or returning garbage.
+func TestParallelDivergenceDetected(t *testing.T) {
+	cfg := heterogeneousConfig()
+	// absurd moment rate: blows past the amplitude guard within a few steps
+	cfg.Sources[0].S = source.Ricker{F0: 4, T0: 0.25, M0: 1e30}
+	if _, err := RunParallel(cfg, 2, 2); err == nil {
+		t.Fatal("diverging parallel run reported success")
+	}
+}

@@ -25,6 +25,16 @@ type Perf struct {
 	Elapsed          time.Duration
 }
 
+// AddCounters folds another rank's kernel-point counters into p. Steps and
+// Elapsed describe the run as a whole, not a sum over ranks, and are set by
+// the caller.
+func (p *Perf) AddCounters(o Perf) {
+	p.VelocityPoints += o.VelocityPoints
+	p.StressPoints += o.StressPoints
+	p.PlasticityPoints += o.PlasticityPoints
+	p.SpongePoints += o.SpongePoints
+}
+
 // Flops returns the counted floating-point operations.
 func (p Perf) Flops() int64 {
 	return p.VelocityPoints*fd.VelocityFlopsPerPoint +

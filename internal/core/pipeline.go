@@ -1,0 +1,155 @@
+package core
+
+import (
+	"swquake/internal/cgexec"
+	"swquake/internal/fd"
+	"swquake/internal/plasticity"
+)
+
+// This file is the step-pipeline engine: the ONE implementation of the
+// per-step stage sequence (paper Fig. 3 / §6.5)
+//
+//	free surface → velocity kernel → velocity-halo exchange →
+//	free surface → SLS-before → stress kernel → SLS-after →
+//	source injection → plasticity → attenuation → sponge →
+//	stress-halo exchange → record traces / PGV
+//
+// Every runner (serial Run, RunParallel) and every execution strategy of
+// Fig. 7 (host kernels, the simulated SW26010 core group, compressed
+// storage) drives this sequence through two seams:
+//
+//   - Exchanger: what happens to ghost layers between the kernel phases —
+//     nothing in a serial run, the simulated-MPI halo protocol under
+//     RunParallel (including the compressed-mode decoded-ghost handshake);
+//   - Backend: how the velocity/stress kernels execute over a z-slab —
+//     the plain Go kernels or the tile-by-tile cgexec core group.
+//
+// Compressed storage plugs in around the same sequence: fields are decoded
+// before the velocity phase, the velocities are round-tripped through the
+// codecs before the stress phase reads them (Fig. 5b), and everything is
+// re-encoded after the sponge, slab by slab.
+
+// Exchanger updates ghost layers between the pipeline's kernel phases. The
+// methods report whether ghost data may have changed, so compressed storage
+// knows to re-encode exchanged planes.
+type Exchanger interface {
+	// ExchangeVelocity refreshes velocity ghosts after the velocity kernel.
+	ExchangeVelocity(wf *fd.Wavefield, step int) bool
+	// ExchangeStress refreshes stress ghosts after the stress-phase stages.
+	ExchangeStress(wf *fd.Wavefield, step int) bool
+}
+
+// NoExchange is the serial Exchanger: ghost layers are governed by the free
+// surface and the zero lateral boundaries alone, as a single-block run wants.
+type NoExchange struct{}
+
+func (NoExchange) ExchangeVelocity(*fd.Wavefield, int) bool { return false }
+func (NoExchange) ExchangeStress(*fd.Wavefield, int) bool   { return false }
+
+// Backend executes one kernel phase over the z-slab [k0,k1) — the seam
+// between the step pipeline and the machine the kernels run on.
+type Backend interface {
+	Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int)
+	Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int)
+}
+
+// hostBackend runs the plain full-grid Go kernels.
+type hostBackend struct{}
+
+func (hostBackend) Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
+	fd.UpdateVelocity(wf, med, dtdx, k0, k1)
+}
+
+func (hostBackend) Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
+	fd.UpdateStress(wf, med, dtdx, k0, k1)
+}
+
+// cgBackend runs the kernels tile-by-tile through the simulated SW26010
+// core group. The executor processes the whole block per call, so it needs
+// full-depth slabs — guaranteed by Config.Validate, which rejects SunwaySim
+// combined with compressed (slabbed) storage.
+type cgBackend struct{ ex *cgexec.Executor }
+
+func (b cgBackend) Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
+	if k0 != 0 || k1 != wf.D.Nz {
+		panic("core: cgexec backend requires full-depth slabs")
+	}
+	if err := b.ex.VelocityStep(wf, med, dtdx); err != nil {
+		panic(err) // construction validated the block; cannot happen
+	}
+}
+
+func (b cgBackend) Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
+	if k0 != 0 || k1 != wf.D.Nz {
+		panic("core: cgexec backend requires full-depth slabs")
+	}
+	if err := b.ex.StressStep(wf, med, dtdx); err != nil {
+		panic(err)
+	}
+}
+
+// stepWith advances one full time step through the pipeline, then runs the
+// post-step stages every runner shares: step/time bookkeeping, station
+// recording and PGV accumulation.
+func (s *Simulator) stepWith(ex Exchanger) {
+	s.stepPipeline(ex)
+	s.step++
+	s.simTime += s.Cfg.Dt
+	s.rec.Record(s.WF)
+	if s.pgv != nil {
+		s.pgv.Update(s.WF)
+	}
+}
+
+// stepPipeline runs the stage sequence once. Slabs are the whole depth for
+// plain storage and CompressionConfig.SlabHeight in compressed mode, where
+// each slab is decoded, computed on and re-encoded (Fig. 5c).
+func (s *Simulator) stepPipeline(ex Exchanger) {
+	s.countKernels()
+	dtdx := float32(s.Cfg.Dt / s.Cfg.Dx)
+	nz := s.Cfg.Dims.Nz
+	slab := nz
+	if s.comp != nil {
+		slab = s.comp.slab
+		s.compDecodeAll()
+	}
+
+	// velocity phase
+	fd.ApplyFreeSurface(s.WF)
+	for k0 := 0; k0 < nz; k0 += slab {
+		s.backend.Velocity(s.WF, s.Med, dtdx, k0, minI(k0+slab, nz))
+	}
+	if s.comp != nil {
+		s.compRoundtripVelocities()
+	}
+	ex.ExchangeVelocity(s.WF, s.step)
+
+	// stress phase
+	fd.ApplyFreeSurface(s.WF)
+	if s.sls != nil {
+		s.sls.Before(s.WF)
+	}
+	for k0 := 0; k0 < nz; k0 += slab {
+		k1 := minI(k0+slab, nz)
+		s.backend.Stress(s.WF, s.Med, dtdx, k0, k1)
+		if s.sls != nil {
+			s.sls.After(s.WF, s.Cfg.Dt, k0, k1)
+		}
+		s.srcs.Inject(s.WF, s.simTime, s.Cfg.Dt, s.Cfg.Dx, k0, k1)
+		if s.Plas != nil {
+			s.yielded += int64(plasticity.Apply(s.WF, s.Plas, s.Cfg.Dt, k0, k1))
+		}
+		if s.atten != nil {
+			s.atten.Apply(s.WF, k0, k1)
+		}
+		if s.sponge != nil {
+			s.sponge.Apply(s.WF, k0, k1)
+		}
+	}
+	if s.comp != nil {
+		s.compStoreAll()
+	}
+	if ex.ExchangeStress(s.WF, s.step) && s.comp != nil {
+		s.compEncodeStressGhosts()
+	}
+}

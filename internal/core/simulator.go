@@ -23,14 +23,15 @@ type Simulator struct {
 	Med  *fd.Medium
 	Plas *plasticity.Params
 
-	sponge *fd.Sponge
-	atten  *fd.Attenuation
-	sls    *fd.SLS
-	cgx    *cgexec.Executor
-	rec    *seismo.Recorder
-	pgv    *seismo.PGVField
-	srcs   source.Set
-	comp   *compressedState
+	sponge  *fd.Sponge
+	atten   *fd.Attenuation
+	sls     *fd.SLS
+	cgx     *cgexec.Executor
+	backend Backend
+	rec     *seismo.Recorder
+	pgv     *seismo.PGVField
+	srcs    source.Set
+	comp    *compressedState
 
 	step    int
 	simTime float64
@@ -110,6 +111,9 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 		s.cgx = ex
+		s.backend = cgBackend{ex}
+	} else {
+		s.backend = hostBackend{}
 	}
 	return s, nil
 }
@@ -177,60 +181,10 @@ func (s *Simulator) Recorder() *seismo.Recorder { return s.rec }
 // PGV exposes the peak-ground-velocity accumulator, or nil if disabled.
 func (s *Simulator) PGV() *seismo.PGVField { return s.pgv }
 
-// Step advances one time step.
+// Step advances one time step through the pipeline with no halo exchange
+// (the serial execution of the stage sequence in pipeline.go).
 func (s *Simulator) Step() {
-	if s.comp != nil {
-		s.stepCompressed()
-	} else {
-		s.stepPlain(s.WF)
-	}
-	s.step++
-	s.simTime += s.Cfg.Dt
-
-	s.rec.Record(s.WF)
-	if s.pgv != nil {
-		s.pgv.Update(s.WF)
-	}
-}
-
-// stepPlain is the uncompressed time step on the given wavefield.
-func (s *Simulator) stepPlain(wf *fd.Wavefield) {
-	dtdx := float32(s.Cfg.Dt / s.Cfg.Dx)
-	nz := s.Cfg.Dims.Nz
-	s.countKernels()
-
-	fd.ApplyFreeSurface(wf)
-	if s.cgx != nil {
-		if err := s.cgx.VelocityStep(wf, s.Med, dtdx); err != nil {
-			panic(err) // construction validated the block; cannot happen
-		}
-	} else {
-		fd.UpdateVelocity(wf, s.Med, dtdx, 0, nz)
-	}
-	fd.ApplyFreeSurface(wf)
-	if s.sls != nil {
-		s.sls.Before(wf)
-	}
-	if s.cgx != nil {
-		if err := s.cgx.StressStep(wf, s.Med, dtdx); err != nil {
-			panic(err)
-		}
-	} else {
-		fd.UpdateStress(wf, s.Med, dtdx, 0, nz)
-	}
-	if s.sls != nil {
-		s.sls.After(wf, s.Cfg.Dt, 0, nz)
-	}
-	s.srcs.Inject(wf, s.simTime, s.Cfg.Dt, s.Cfg.Dx, 0, nz)
-	if s.Plas != nil {
-		s.yielded += int64(plasticity.Apply(wf, s.Plas, s.Cfg.Dt, 0, nz))
-	}
-	if s.atten != nil {
-		s.atten.Apply(wf, 0, nz)
-	}
-	if s.sponge != nil {
-		s.sponge.Apply(wf, 0, nz)
-	}
+	s.stepWith(NoExchange{})
 }
 
 // countKernels tallies the per-step kernel work for Perf.
@@ -247,11 +201,18 @@ func (s *Simulator) countKernels() {
 	s.perf.Steps++
 }
 
-// Run advances all configured steps.
+// Run advances the simulation until StepCount reaches Cfg.Steps. When
+// Cfg.RestartFrom names a checkpoint, it is restored first, so the run
+// resumes there and Steps is the TOTAL step count of the whole simulation.
 func (s *Simulator) Run() (*Result, error) {
+	if s.Cfg.RestartFrom != "" && s.step == 0 {
+		if err := s.Restore(s.Cfg.RestartFrom); err != nil {
+			return nil, err
+		}
+	}
 	res := &Result{Recorder: s.rec, PGV: s.pgv, Dt: s.Cfg.Dt, Sim: s}
 	runStart := timeNow()
-	for n := 0; n < s.Cfg.Steps; n++ {
+	for s.step < s.Cfg.Steps {
 		s.Step()
 		if s.Cfg.Checkpoint != nil {
 			info, saved, err := s.Cfg.Checkpoint.MaybeSave(s.step, s.simTime, s.WF)

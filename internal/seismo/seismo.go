@@ -131,6 +131,22 @@ func (p *PGVField) Update(wf *fd.Wavefield) {
 // At returns the accumulated PGV at surface point (i, j).
 func (p *PGVField) At(i, j int) float64 { return p.PGV[i*p.Ny+j] }
 
+// Set stores v at surface point (i, j), encapsulating the row-major layout.
+func (p *PGVField) Set(i, j int, v float64) { p.PGV[i*p.Ny+j] = v }
+
+// Merge folds a sub-block accumulator into p at offset (offI, offJ),
+// keeping the pointwise peak — how a parallel run reduces per-rank PGV
+// blocks into the global field.
+func (p *PGVField) Merge(o *PGVField, offI, offJ int) {
+	for i := 0; i < o.Nx; i++ {
+		for j := 0; j < o.Ny; j++ {
+			if v := o.At(i, j); v > p.At(offI+i, offJ+j) {
+				p.Set(offI+i, offJ+j, v)
+			}
+		}
+	}
+}
+
 // Max returns the maximum PGV over the surface.
 func (p *PGVField) Max() float64 {
 	var m float64

@@ -146,3 +146,29 @@ func TestSnapshot(t *testing.T) {
 		t.Fatal("quiet point nonzero")
 	}
 }
+
+func TestPGVFieldSetAndMerge(t *testing.T) {
+	global := NewPGVField(4, 6, 0)
+	global.Set(1, 2, 0.5)
+	if global.At(1, 2) != 0.5 {
+		t.Fatalf("Set/At mismatch: %g", global.At(1, 2))
+	}
+
+	// a 2x3 block merged at offset (2, 3): pointwise max with the existing
+	// values, as in the parallel PGV reduction
+	global.Set(2, 3, 0.9)
+	block := NewPGVField(2, 3, 0)
+	block.Set(0, 0, 0.4) // loses to the existing 0.9
+	block.Set(1, 2, 0.7) // lands on an empty cell
+	global.Merge(block, 2, 3)
+
+	if global.At(2, 3) != 0.9 {
+		t.Fatalf("merge overwrote a larger peak: %g", global.At(2, 3))
+	}
+	if global.At(3, 5) != 0.7 {
+		t.Fatalf("merge lost a block peak: %g", global.At(3, 5))
+	}
+	if global.At(1, 2) != 0.5 {
+		t.Fatalf("merge touched cells outside the block: %g", global.At(1, 2))
+	}
+}

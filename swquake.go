@@ -117,7 +117,11 @@ const (
 func New(cfg Config) (*Simulator, error) { return core.New(cfg) }
 
 // RunParallel runs the configuration over an mx x my grid of simulated MPI
-// ranks (paper §6.3), producing results identical to a serial run.
+// ranks (paper §6.3), producing results identical to a serial run. All
+// serial features work here too: checkpoints are gathered to rank 0 and
+// written as one global dump (resumable by serial or parallel runs via
+// Config.RestartFrom), and Result.Perf / Result.Sunway aggregate the
+// per-rank accounting.
 func RunParallel(cfg Config, mx, my int) (*Result, error) {
 	return core.RunParallel(cfg, mx, my)
 }
