@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench repro fuzz clean
+.PHONY: all build check vet test race bench repro fuzz clean serve-smoke
 
 all: build check test
 
@@ -8,15 +8,16 @@ build:
 	$(GO) build ./...
 
 # static analysis plus the race-sensitive engine packages (the simulated-MPI
-# world and the step-pipeline drivers) under the race detector
+# world, the step-pipeline drivers, and the job service worker pool) under
+# the race detector
 check: vet
-	$(GO) test -race ./internal/core/... ./internal/mpi/...
+	$(GO) test -race ./internal/core/... ./internal/mpi/... ./internal/service/...
 
 vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/mpi/ ./internal/checkpoint/ ./internal/core/
@@ -35,6 +36,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecompress -fuzztime 30s ./internal/lz4/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime 30s ./internal/lz4/
 	$(GO) test -fuzz=FuzzLoad -fuzztime 30s ./internal/checkpoint/
+
+# boot the quaked daemon on a random loopback port and drive one job
+# through the real HTTP API: submit -> poll -> result -> cache hit -> metrics
+serve-smoke:
+	$(GO) run ./cmd/quaked -selftest
 
 clean:
 	rm -f *.pgm *.swvm *.swq test_output.txt bench_output.txt

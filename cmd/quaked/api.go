@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"swquake/internal/scenario"
+	"swquake/internal/service"
+)
+
+// server is the HTTP face of the job service. It is an http.Handler so the
+// end-to-end tests can mount it on httptest servers.
+type server struct {
+	svc   *service.Service
+	mux   *http.ServeMux
+	start time.Time
+}
+
+func newServer(svc *service.Service) *server {
+	s := &server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// submitRequest is the POST /v1/jobs body: a named scenario plus overrides,
+// an optional simulated-MPI layout and an optional per-job deadline.
+type submitRequest struct {
+	Scenario  string             `json:"scenario"`
+	Overrides scenario.Overrides `json:"overrides"`
+	MX        int                `json:"mx,omitempty"`
+	MY        int                `json:"my,omitempty"`
+	TimeoutS  float64            `json:"timeout_s,omitempty"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	cfg, err := scenario.Build(req.Scenario, req.Overrides)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.svc.Submit(service.Request{
+		Config:  cfg,
+		MX:      req.MX,
+		MY:      req.MY,
+		Timeout: time.Duration(req.TimeoutS * float64(time.Second)),
+	})
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, service.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.svc.Status(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Jobs())
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.svc.Result(id)
+	switch {
+	case errors.Is(err, service.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, service.ErrNotFinished):
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil: // the job's own failure or cancellation
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.svc.Cancel(id) {
+		writeError(w, http.StatusNotFound, service.ErrUnknownJob)
+		return
+	}
+	st, err := s.svc.Status(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the service's expvar counters as JSON, alongside
+// process uptime — the counters quaked's acceptance test cross-checks
+// against observed job outcomes.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"uptime_s\":%.3f,\"service\":%s}\n",
+		time.Since(s.start).Seconds(), s.svc.Vars().String())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

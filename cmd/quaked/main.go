@@ -1,0 +1,112 @@
+// Command quaked is the simulation job daemon: an HTTP front end over the
+// internal/service queue/worker-pool subsystem, serving many concurrent
+// scenario requests with per-job cancellation, live progress, result
+// caching and metrics.
+//
+// API:
+//
+//	POST   /v1/jobs             submit {"scenario": "quickstart"|"tangshan",
+//	                            "overrides": {...}, "mx": 2, "my": 2,
+//	                            "timeout_s": 60} -> 202 + job status
+//	                            (429 when the bounded queue is full)
+//	GET    /v1/jobs             list all jobs, newest first
+//	GET    /v1/jobs/{id}        status: state, steps done/total, ETA
+//	GET    /v1/jobs/{id}/result RunManifest-shaped summary + station traces
+//	DELETE /v1/jobs/{id}        cancel (stops a running job within a step)
+//	GET    /healthz             liveness
+//	GET    /metrics             expvar counters: queued/running/done/failed,
+//	                            cache hits, aggregate step throughput
+//
+// Example:
+//
+//	quaked -addr :8047 &
+//	curl -s localhost:8047/v1/jobs -d '{"scenario":"quickstart"}'
+//	curl -s localhost:8047/v1/jobs/job-000001
+//	curl -s localhost:8047/v1/jobs/job-000001/result | jq .manifest
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
+// running jobs (bounded by -drain-timeout, after which they are canceled
+// at the next step boundary) and exits.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swquake/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "quaked:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("quaked", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8047", "listen address")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queueSize    = fs.Int("queue", 0, "submission queue bound (0 = 4x workers)")
+		cacheSize    = fs.Int("cache", 0, "result cache entries (0 = 64, negative disables)")
+		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
+		selftest     = fs.Bool("selftest", false, "boot on a random port, run one job through the API, exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := service.Options{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *jobTimeout,
+	}
+	if *selftest {
+		return runSelftest(opts)
+	}
+
+	svc := service.New(opts)
+	expvar.Publish("quaked", svc.Vars())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("quaked listening on %s (%d workers, queue %d)",
+		ln.Addr(), svc.Workers(), svc.QueueSize())
+
+	srv := &http.Server{Handler: newServer(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Printf("quaked: shutting down, draining jobs (up to %s)...", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("quaked: http shutdown: %v", err)
+		}
+		if err := svc.Drain(dctx); err != nil {
+			log.Printf("quaked: drain incomplete, jobs canceled: %v", err)
+		}
+		log.Printf("quaked: bye")
+		return nil
+	}
+}

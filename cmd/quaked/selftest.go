@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"swquake/internal/service"
+)
+
+// runSelftest is the `make serve-smoke` body: boot the daemon on a random
+// loopback port, drive one tiny job through the real HTTP API (submit →
+// poll → result), verify a resubmission is served from the cache, and exit
+// nonzero on any failure.
+func runSelftest(opts service.Options) error {
+	svc := service.New(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newServer(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	log.Printf("quaked selftest on %s", base)
+
+	if err := selftestFlow(base); err != nil {
+		return fmt.Errorf("selftest: %w", err)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		return fmt.Errorf("selftest: drain: %w", err)
+	}
+	log.Printf("quaked selftest ok")
+	return nil
+}
+
+func selftestFlow(base string) error {
+	// liveness
+	if err := getJSONOrText(base+"/healthz", nil); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// submit → poll → result
+	var st service.Status
+	if err := postJSON(base+"/v1/jobs", `{"scenario":"quickstart","overrides":{"steps":40}}`, &st); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in state %s", st.ID, st.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if err := getJSONOrText(base+"/v1/jobs/"+st.ID, &st); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+	}
+	if st.State != service.StateDone {
+		return fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	var res service.Result
+	if err := getJSONOrText(base+"/v1/jobs/"+st.ID+"/result", &res); err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	if res.Manifest.Steps != 40 || len(res.Traces) == 0 {
+		return fmt.Errorf("result payload wrong: steps=%d traces=%d", res.Manifest.Steps, len(res.Traces))
+	}
+
+	// identical resubmission must be served from the cache
+	var st2 service.Status
+	if err := postJSON(base+"/v1/jobs", `{"scenario":"quickstart","overrides":{"steps":40}}`, &st2); err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if !st2.CacheHit || st2.State != service.StateDone {
+		return fmt.Errorf("resubmission not served from cache: %+v", st2)
+	}
+
+	// metrics must be well-formed JSON and consistent with what we did
+	var metrics struct {
+		Service map[string]int64 `json:"service"`
+	}
+	if err := getJSONOrText(base+"/metrics", &metrics); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if metrics.Service["jobs_done"] < 2 || metrics.Service["cache_hits"] < 1 {
+		return fmt.Errorf("metrics inconsistent: %+v", metrics.Service)
+	}
+	return nil
+}
+
+func postJSON(url, body string, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func getJSONOrText(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

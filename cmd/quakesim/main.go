@@ -32,7 +32,6 @@ import (
 	"swquake/internal/checkpoint"
 	"swquake/internal/compress"
 	"swquake/internal/core"
-	"swquake/internal/grid"
 	"swquake/internal/model"
 	"swquake/internal/output"
 	"swquake/internal/scenario"
@@ -66,12 +65,16 @@ func run(args []string, w io.Writer) error {
 		qVsScaled = fs.Bool("q-vs", false, "Vs-scaled attenuation (Qs = 0.05 Vs)")
 		snapshots = fs.Int("snapshots", 0, "write a surface-velocity PGM every N steps (serial runs, needs -out)")
 		sunwaySim = fs.Bool("sunway", false, "execute through the simulated SW26010 core group and report its timing")
+		progress  = fs.Bool("progress", false, "print step progress and ETA during the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg, err := buildConfig(*scen, *nx, *ny, *nz, *dx, *steps, *nonlinear)
+	cfg, err := buildConfig(*scen, scenario.Overrides{
+		Nx: *nx, Ny: *ny, Nz: *nz, Dx: *dx, Steps: *steps,
+		Nonlinear: *nonlinear, Qs: *qs, QVsScaled: *qVsScaled,
+	})
 	if err != nil {
 		return err
 	}
@@ -84,11 +87,8 @@ func run(args []string, w io.Writer) error {
 		cfg.Model = g
 	}
 	cfg.SunwaySim = *sunwaySim
-	switch {
-	case *qVsScaled:
-		cfg.Attenuation = core.AttenuationConfig{Enabled: true, VsScaled: true, F0: 2}
-	case *qs > 0:
-		cfg.Attenuation = core.AttenuationConfig{Enabled: true, Qp: 2 * *qs, Qs: *qs, F0: 2}
+	if *progress {
+		cfg.Observer = progressObserver(w, cfg.Steps)
 	}
 
 	if *comp != "off" {
@@ -181,45 +181,31 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-func buildConfig(scen string, nx, ny, nz int, dx float64, steps int, nonlinear bool) (core.Config, error) {
-	switch scen {
-	case "quickstart":
-		cfg := scenario.Quickstart()
-		if nx != 0 || ny != 0 || nz != 0 || dx != 0 {
-			return cfg, fmt.Errorf("quickstart has a fixed grid; use -scenario tangshan for custom sizes")
+// buildConfig resolves a named scenario plus flag overrides through the
+// shared builder, so the CLI and the quaked daemon accept the same names
+// and produce identical configurations.
+func buildConfig(scen string, o scenario.Overrides) (core.Config, error) {
+	return scenario.Build(scen, o)
+}
+
+// progressObserver prints step progress through the engine's per-step
+// observer hook — the same mechanism the job service uses for live
+// progress — at roughly 10 lines per run.
+func progressObserver(w io.Writer, total int) core.StepObserver {
+	interval := total / 10
+	if interval < 1 {
+		interval = 1
+	}
+	return func(ev core.StepEvent) {
+		if ev.Step%interval != 0 && ev.Step != ev.Total {
+			return
 		}
-		if steps > 0 {
-			cfg.Steps = steps
+		eta := time.Duration(0)
+		if ev.Step > 0 {
+			eta = time.Duration(float64(ev.Wall) / float64(ev.Step) * float64(ev.Total-ev.Step))
 		}
-		if nonlinear {
-			return cfg, fmt.Errorf("quickstart is linear; use -scenario tangshan -nonlinear")
-		}
-		return cfg, nil
-	case "tangshan":
-		s := scenario.Tangshan{
-			Dims:      grid.Dims{Nx: 64, Ny: 62, Nz: 24},
-			Dx:        500,
-			Steps:     200,
-			Nonlinear: nonlinear,
-		}
-		if nx > 0 {
-			s.Dims.Nx = nx
-		}
-		if ny > 0 {
-			s.Dims.Ny = ny
-		}
-		if nz > 0 {
-			s.Dims.Nz = nz
-		}
-		if dx > 0 {
-			s.Dx = dx
-		}
-		if steps > 0 {
-			s.Steps = steps
-		}
-		return s.Config()
-	default:
-		return core.Config{}, fmt.Errorf("unknown scenario %q", scen)
+		fmt.Fprintf(w, "step %d/%d  t=%.3f s  wall=%.2f s  eta=%.2f s\n",
+			ev.Step, ev.Total, ev.SimTime, ev.Wall.Seconds(), eta.Seconds())
 	}
 }
 
@@ -291,36 +277,42 @@ func writeOutputs(dir string, res *core.Result) error {
 	return nil
 }
 
-// runWithSnapshots steps the simulator manually, writing the surface
-// horizontal-velocity field as a PGM image every interval steps (the
-// wavefield snapshots of paper Fig. 11c-d).
+// runWithSnapshots writes the surface horizontal-velocity field as a PGM
+// image every interval steps (the wavefield snapshots of paper Fig. 11c-d),
+// hanging the writer off the engine's per-step observer hook — chained
+// after any observer already installed (e.g. -progress) — and letting the
+// normal Run loop drive the stepping, restart handling included.
 func runWithSnapshots(sim *core.Simulator, cfg core.Config, interval int, dir string) (*core.Result, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	if cfg.RestartFrom != "" {
-		if err := sim.Restore(cfg.RestartFrom); err != nil {
-			return nil, err
+	prev := sim.Cfg.Observer
+	var snapErr error
+	sim.Cfg.Observer = func(ev core.StepEvent) {
+		if prev != nil {
+			prev(ev)
 		}
-	}
-	for sim.StepCount() < cfg.Steps {
-		sim.Step()
-		n := sim.StepCount() - 1
-		if (n+1)%interval == 0 {
-			snap := seismo.Snapshot(sim.WF, 0)
-			var vmax float64
-			for _, row := range snap {
-				for _, v := range row {
-					if v > vmax {
-						vmax = v
-					}
+		if snapErr != nil || ev.Step%interval != 0 {
+			return
+		}
+		snap := seismo.Snapshot(sim.WF, 0)
+		var vmax float64
+		for _, row := range snap {
+			for _, v := range row {
+				if v > vmax {
+					vmax = v
 				}
 			}
-			path := filepath.Join(dir, fmt.Sprintf("snap-%05d.pgm", n+1))
-			if err := output.SavePGM(path, snap, 0, vmax); err != nil {
-				return nil, err
-			}
 		}
+		path := filepath.Join(dir, fmt.Sprintf("snap-%05d.pgm", ev.Step))
+		snapErr = output.SavePGM(path, snap, 0, vmax)
 	}
-	return &core.Result{Recorder: sim.Recorder(), PGV: sim.PGV(), Dt: sim.Dt(), Steps: cfg.Steps, Sim: sim}, nil
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	if snapErr != nil {
+		return nil, snapErr
+	}
+	return res, nil
 }

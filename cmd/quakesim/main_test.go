@@ -9,6 +9,7 @@ import (
 
 	"swquake/internal/compress"
 	"swquake/internal/model"
+	"swquake/internal/scenario"
 )
 
 func TestParseProcGrid(t *testing.T) {
@@ -41,28 +42,42 @@ func TestParseMethod(t *testing.T) {
 }
 
 func TestBuildConfig(t *testing.T) {
-	cfg, err := buildConfig("quickstart", 0, 0, 0, 0, 50, false)
+	cfg, err := buildConfig("quickstart", scenario.Overrides{Steps: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Steps != 50 {
 		t.Fatalf("steps %d", cfg.Steps)
 	}
-	if _, err := buildConfig("quickstart", 10, 0, 0, 0, 0, false); err == nil {
+	if _, err := buildConfig("quickstart", scenario.Overrides{Nx: 10}); err == nil {
 		t.Fatal("custom grid on quickstart accepted")
 	}
-	if _, err := buildConfig("quickstart", 0, 0, 0, 0, 0, true); err == nil {
+	if _, err := buildConfig("quickstart", scenario.Overrides{Nonlinear: true}); err == nil {
 		t.Fatal("nonlinear quickstart accepted")
 	}
-	cfg, err = buildConfig("tangshan", 48, 46, 20, 600, 100, true)
+	cfg, err = buildConfig("tangshan", scenario.Overrides{
+		Nx: 48, Ny: 46, Nz: 20, Dx: 600, Steps: 100, Nonlinear: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Dims.Nx != 48 || cfg.Dx != 600 || !cfg.Nonlinear {
 		t.Fatalf("tangshan config wrong: %+v", cfg.Dims)
 	}
-	if _, err := buildConfig("loma-prieta", 0, 0, 0, 0, 0, false); err == nil {
+	if _, err := buildConfig("tangshan", scenario.Overrides{Qs: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildConfig("loma-prieta", scenario.Overrides{}); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunProgressFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "quickstart", "-steps", "30", "-progress"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "step 30/30") {
+		t.Fatalf("progress output missing final step line:\n%s", buf.String())
 	}
 }
 

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"swquake/internal/checkpoint"
 	"swquake/internal/compress"
@@ -24,6 +25,24 @@ import (
 	"swquake/internal/seismo"
 	"swquake/internal/source"
 )
+
+// StepEvent describes one completed step of the pipeline, as reported to a
+// StepObserver: how far the run is and how long it has been stepping.
+type StepEvent struct {
+	// Step is the number of completed steps (the first event carries 1).
+	Step int
+	// Total is the configured step count of the run.
+	Total int
+	// SimTime is the simulation clock after the step, in seconds.
+	SimTime float64
+	// Wall is the wall time since the run (or restart) started stepping.
+	Wall time.Duration
+}
+
+// StepObserver receives a StepEvent after every completed pipeline step. It
+// is called synchronously from the step loop — on rank 0 only under
+// RunParallel — so implementations must be cheap and must not block.
+type StepObserver func(StepEvent)
 
 // PlasticityConfig sets the nonlinear material response.
 type PlasticityConfig struct {
@@ -118,6 +137,11 @@ type Config struct {
 	// Steps is then the TOTAL step count of the simulation, so a run
 	// checkpointed at step N performs Steps-N further steps.
 	RestartFrom string
+
+	// Observer, when non-nil, is invoked after every completed step (rank 0
+	// only under RunParallel) — the one progress mechanism shared by the
+	// CLI, the job service and any other driver of the engine.
+	Observer StepObserver
 }
 
 // Validate checks the configuration and fills defaults in place.

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"swquake/internal/grid"
+	"swquake/internal/model"
+	"swquake/internal/seismo"
+	"swquake/internal/source"
+)
+
+// ctxTestConfig is a small linear run for cancellation/observer tests.
+func ctxTestConfig(steps int) Config {
+	return Config{
+		Dims:  grid.Dims{Nx: 20, Ny: 18, Nz: 12},
+		Dx:    200,
+		Steps: steps,
+		Model: model.Homogeneous{M: model.Material{Vp: 4000, Vs: 2310, Rho: 2500}},
+		Sources: []source.PointSource{{
+			I: 10, J: 9, K: 6,
+			M: source.Explosion(),
+			S: source.Ricker{F0: 3, T0: 0.3, M0: 1e13},
+		}},
+		Stations: []seismo.Station{{Name: "s0", I: 15, J: 9, K: 0}},
+	}
+}
+
+func TestRunCtxCancelStopsWithinAStep(t *testing.T) {
+	cfg := ctxTestConfig(500)
+	const stopAt = 7
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Observer = func(ev StepEvent) {
+		if ev.Step == stopAt {
+			cancel()
+		}
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.RunCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if sim.StepCount() != stopAt {
+		t.Fatalf("run stopped after %d steps, want %d", sim.StepCount(), stopAt)
+	}
+}
+
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	sim, err := New(ctxTestConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if sim.StepCount() != 0 {
+		t.Fatalf("canceled-before-start run took %d steps", sim.StepCount())
+	}
+}
+
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	simA, err := New(ctxTestConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := simA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := New(ctxTestConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := simB.RunCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := resA.Recorder.Trace("s0"), resB.Recorder.Trace("s0")
+	for i := range ta.U {
+		if ta.U[i] != tb.U[i] || ta.V[i] != tb.V[i] || ta.W[i] != tb.W[i] {
+			t.Fatalf("RunCtx(Background) diverges from Run at sample %d", i)
+		}
+	}
+}
+
+func TestObserverSequence(t *testing.T) {
+	cfg := ctxTestConfig(25)
+	var events []StepEvent
+	cfg.Observer = func(ev StepEvent) { events = append(events, ev) }
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 25 {
+		t.Fatalf("observer saw %d events, want 25", len(events))
+	}
+	for i, ev := range events {
+		if ev.Step != i+1 {
+			t.Fatalf("event %d has Step %d, want %d", i, ev.Step, i+1)
+		}
+		if ev.Total != 25 {
+			t.Fatalf("event %d has Total %d, want 25", i, ev.Total)
+		}
+	}
+	dt := sim.Dt()
+	last := events[len(events)-1]
+	if want := 25 * dt; last.SimTime < want*0.999 || last.SimTime > want*1.001 {
+		t.Fatalf("last SimTime %g, want ~%g", last.SimTime, want)
+	}
+}
+
+func TestRunParallelCtxCancelAllRanksStopTogether(t *testing.T) {
+	cfg := ctxTestConfig(500)
+	const stopAt = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	// the observer runs on rank 0 only; canceling from it exercises the
+	// collective stop path on every rank
+	cfg.Observer = func(ev StepEvent) {
+		seen.Store(int64(ev.Step))
+		if ev.Step == stopAt {
+			cancel()
+		}
+	}
+	_, err := RunParallelCtx(ctx, cfg, 2, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := seen.Load(); got != stopAt {
+		t.Fatalf("rank 0 advanced to step %d before stopping, want %d", got, stopAt)
+	}
+}
+
+func TestRunParallelCtxObserverRankZeroOnly(t *testing.T) {
+	cfg := ctxTestConfig(10)
+	var calls atomic.Int64
+	cfg.Observer = func(StepEvent) { calls.Add(1) }
+	if _, err := RunParallelCtx(context.Background(), cfg, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 10 {
+		t.Fatalf("observer called %d times across ranks, want 10 (rank 0 only)", calls.Load())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,6 +32,14 @@ import (
 // Result.Sunway aggregates the simulated core-group stats when
 // Config.SunwaySim is set.
 func RunParallel(cfg Config, mx, my int) (*Result, error) {
+	return RunParallelCtx(context.Background(), cfg, mx, my)
+}
+
+// RunParallelCtx is RunParallel with cancellation: the context is checked
+// collectively at every step boundary (the same AllreduceMax pattern as the
+// divergence check), so all ranks stop together within one step and the
+// context's cause comes back wrapped in the error.
+func RunParallelCtx(ctx context.Context, cfg Config, mx, my int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,7 +58,7 @@ func RunParallel(cfg Config, mx, my int) (*Result, error) {
 	world := mpi.NewWorld(pg.Size())
 	runStart := timeNow()
 	world.Run(func(r *mpi.Rank) {
-		runRank(r, pg, cfg, srcParts[r.ID()], &outs[r.ID()])
+		runRank(ctx, r, pg, cfg, srcParts[r.ID()], &outs[r.ID()])
 	})
 	elapsed := timeNow().Sub(runStart)
 
@@ -110,13 +119,17 @@ type rankOut struct {
 // runRank is the per-rank body of RunParallel: build the local simulator,
 // agree on dt, optionally restore a checkpoint block, and drive the step
 // pipeline with the halo Exchanger.
-func runRank(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, srcs []source.PointSource, out *rankOut) {
+func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, srcs []source.PointSource, out *rankOut) {
 	i0, j0 := pg.Offset(r.ID())
 	out.offI, out.offJ = i0, j0
 	block := pg.BlockDims()
 
 	local := cfg
 	local.Dims = block
+	// progress is reported once, not once per rank
+	if r.ID() != 0 {
+		local.Observer = nil
+	}
 	local.OriginX = cfg.OriginX + float64(i0)*cfg.Dx
 	local.OriginY = cfg.OriginY + float64(j0)*cfg.Dx
 	local.Sources = srcs
@@ -166,8 +179,20 @@ func runRank(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, srcs []source.Poin
 	}
 
 	ex := &haloExchanger{r: r, pg: pg}
+	rankStart := timeNow()
 	for sim.step < cfg.Steps {
+		// cancellation is collective, like the divergence check below, so
+		// every rank stops at the same step boundary
+		flag := 0.0
+		if ctx.Err() != nil {
+			flag = 1
+		}
+		if r.AllreduceMax(flag) > 0 {
+			out.err = fmt.Errorf("run stopped at step %d: %w", sim.step, context.Cause(ctx))
+			return
+		}
 		sim.stepWith(ex)
+		sim.observe(rankStart)
 		if cfg.Checkpoint != nil && cfg.Checkpoint.Due(sim.step) {
 			infos, err := parallelCheckpoint(r, pg, cfg, sim)
 			if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -205,6 +206,13 @@ func (s *Simulator) countKernels() {
 // Cfg.RestartFrom names a checkpoint, it is restored first, so the run
 // resumes there and Steps is the TOTAL step count of the whole simulation.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation: the context is checked at every
+// step-pipeline boundary, so a canceled or expired context stops the run
+// within one step and returns the context's cause wrapped in the error.
+func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 	if s.Cfg.RestartFrom != "" && s.step == 0 {
 		if err := s.Restore(s.Cfg.RestartFrom); err != nil {
 			return nil, err
@@ -213,7 +221,12 @@ func (s *Simulator) Run() (*Result, error) {
 	res := &Result{Recorder: s.rec, PGV: s.pgv, Dt: s.Cfg.Dt, Sim: s}
 	runStart := timeNow()
 	for s.step < s.Cfg.Steps {
+		if ctx.Err() != nil {
+			s.perf.Elapsed += timeNow().Sub(runStart)
+			return nil, fmt.Errorf("core: run stopped at step %d: %w", s.step, context.Cause(ctx))
+		}
 		s.Step()
+		s.observe(runStart)
 		if s.Cfg.Checkpoint != nil {
 			info, saved, err := s.Cfg.Checkpoint.MaybeSave(s.step, s.simTime, s.WF)
 			if err != nil {
@@ -236,6 +249,14 @@ func (s *Simulator) Run() (*Result, error) {
 		res.Sunway = &stats
 	}
 	return res, nil
+}
+
+// observe reports the just-completed step to Cfg.Observer, if any.
+func (s *Simulator) observe(runStart time.Time) {
+	if obs := s.Cfg.Observer; obs != nil {
+		obs(StepEvent{Step: s.step, Total: s.Cfg.Steps, SimTime: s.simTime,
+			Wall: timeNow().Sub(runStart)})
+	}
 }
 
 // timeNow is a seam for tests.

@@ -1,0 +1,548 @@
+// Package service is the simulation job service: a bounded submission
+// queue with backpressure, a worker pool that drives the core engine
+// (serial RunCtx or the simulated-MPI RunParallelCtx), per-job deadlines
+// and cancellation plumbed down to the pipeline's per-step boundary, a
+// scenario-keyed LRU result cache over canonical config hashes, live
+// progress tracking through the engine's step-observer hook, expvar-style
+// metrics, and graceful drain on shutdown.
+//
+// This is the layer the ROADMAP's north star asks for: the paper's batch
+// pipeline turned into a subsystem that serves many concurrent scenario
+// requests. cmd/quaked exposes it over HTTP; the public swquake package
+// re-exports the submission types.
+package service
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swquake/internal/core"
+	"swquake/internal/manifest"
+)
+
+// Sentinel errors of the submission and result API.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity — the backpressure signal (HTTP 429 in quaked).
+	ErrQueueFull = errors.New("service: submission queue full")
+	// ErrClosed is returned by Submit after Drain has begun.
+	ErrClosed = errors.New("service: draining, not accepting jobs")
+	// ErrUnknownJob is returned for IDs the service has never issued.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotFinished is returned by Result while the job is queued/running.
+	ErrNotFinished = errors.New("service: job not finished")
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Request describes one simulation job.
+type Request struct {
+	// Config is the full solver configuration (validated on Submit).
+	Config core.Config
+	// MX, MY select the simulated-MPI process grid; both <= 1 runs the
+	// serial engine. Results are numerically identical either way, but
+	// trace order follows rank order, so the cache key includes the layout.
+	MX, MY int
+	// Timeout is the per-job deadline measured from the moment a worker
+	// starts the run; 0 uses Options.DefaultTimeout (0 = no deadline).
+	Timeout time.Duration
+}
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 uses runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueSize bounds the submission queue; <= 0 uses 4*Workers.
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity in entries; 0 uses 64,
+	// negative disables caching.
+	CacheSize int
+	// DefaultTimeout applies to requests with no Timeout (0 = none).
+	DefaultTimeout time.Duration
+}
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+
+	StepsDone  int     `json:"steps_done"`
+	StepsTotal int     `json:"steps_total"`
+	SimTime    float64 `json:"sim_time_s"`
+	// ElapsedS is wall time spent running (0 while queued).
+	ElapsedS float64 `json:"elapsed_s"`
+	// EtaS estimates the remaining run time from the observed step rate
+	// (0 unless running with at least one step done).
+	EtaS float64 `json:"eta_s,omitempty"`
+
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+}
+
+// Trace is one station's recorded seismogram in the result payload.
+type Trace struct {
+	Name string    `json:"name"`
+	I    int       `json:"i"`
+	J    int       `json:"j"`
+	Dt   float64   `json:"dt_s"`
+	U    []float32 `json:"u"`
+	V    []float32 `json:"v"`
+	W    []float32 `json:"w"`
+}
+
+// Result is a completed job's payload: the same RunManifest shape a batch
+// run archives on disk, plus the station traces. Results may be served
+// from the cache and shared between jobs — treat them as immutable.
+type Result struct {
+	Manifest manifest.RunManifest `json:"manifest"`
+	Traces   []Trace              `json:"traces"`
+}
+
+// job is the service-internal record of one submission.
+type job struct {
+	id  string
+	req Request
+	key string
+
+	// guarded by Service.mu
+	state    State
+	err      error
+	result   *Result
+	cacheHit bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// written by the worker's observer, read by Status
+	stepsTotal int
+	stepsDone  atomic.Int64
+	simTime    atomic.Uint64 // float64 bits
+	wall       atomic.Int64  // time.Duration
+
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{}
+}
+
+// Service runs simulation jobs on a bounded queue and worker pool.
+type Service struct {
+	opts  Options
+	queue chan *job
+	cache *resultCache
+	vars  *expvar.Map
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+}
+
+// counterNames lists every metric the service maintains, so /metrics shows
+// zeros rather than omitting untouched counters.
+var counterNames = []string{
+	"jobs_submitted", "jobs_queued", "jobs_running",
+	"jobs_done", "jobs_failed", "jobs_canceled",
+	"cache_hits", "cache_misses", "steps_done",
+}
+
+// New builds a Service and starts its worker pool.
+func New(opts Options) *Service {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 4 * opts.Workers
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 64
+	}
+	s := &Service{
+		opts:  opts,
+		queue: make(chan *job, opts.QueueSize),
+		cache: newResultCache(opts.CacheSize),
+		vars:  new(expvar.Map).Init(),
+		jobs:  make(map[string]*job),
+	}
+	for _, name := range counterNames {
+		s.vars.Add(name, 0)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers reports the worker-pool size.
+func (s *Service) Workers() int { return s.opts.Workers }
+
+// QueueSize reports the submission-queue capacity.
+func (s *Service) QueueSize() int { return s.opts.QueueSize }
+
+// Submit validates and enqueues a job, returning its ID. An identical
+// prior submission (same canonical config hash and process-grid layout)
+// is served from the result cache without re-solving: the job is born
+// done with Status.CacheHit set. When the queue is full, Submit returns
+// ErrQueueFull immediately — callers translate that to backpressure.
+func (s *Service) Submit(req Request) (string, error) {
+	cfg := req.Config
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	req.Config = cfg // keep the default-filled copy
+	ckey, err := ConfigKey(cfg)
+	if err != nil {
+		return "", err
+	}
+	if req.MX < 1 {
+		req.MX = 1
+	}
+	if req.MY < 1 {
+		req.MY = 1
+	}
+	key := fmt.Sprintf("%s/%dx%d", ckey, req.MX, req.MY)
+
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	s.nextID++
+	j := &job{
+		id:         fmt.Sprintf("job-%06d", s.nextID),
+		req:        req,
+		key:        key,
+		submitted:  now,
+		stepsTotal: cfg.Steps,
+		done:       make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+
+	if res, ok := s.cache.get(key); ok {
+		j.state = StateDone
+		j.result = res
+		j.cacheHit = true
+		j.started, j.finished = now, now
+		j.stepsDone.Store(int64(j.stepsTotal))
+		close(j.done)
+		s.jobs[j.id] = j
+		s.vars.Add("jobs_submitted", 1)
+		s.vars.Add("cache_hits", 1)
+		s.vars.Add("jobs_done", 1)
+		return j.id, nil
+	}
+
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.vars.Add("jobs_submitted", 1)
+		s.vars.Add("cache_misses", 1)
+		s.vars.Add("jobs_queued", 1)
+		return j.id, nil
+	default:
+		j.cancel()
+		return "", ErrQueueFull
+	}
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: state transitions, the deadline
+// context, the progress observer, the engine run, result/cache bookkeeping.
+func (s *Service) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting in the queue
+		s.mu.Unlock()
+		s.vars.Add("jobs_queued", -1)
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+	s.vars.Add("jobs_queued", -1)
+	s.vars.Add("jobs_running", 1)
+
+	ctx := j.ctx
+	timeout := j.req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	cfg := j.req.Config
+	cfg.Observer = func(ev core.StepEvent) {
+		j.stepsDone.Store(int64(ev.Step))
+		j.simTime.Store(math.Float64bits(ev.SimTime))
+		j.wall.Store(int64(ev.Wall))
+		s.vars.Add("steps_done", 1)
+	}
+
+	var res *core.Result
+	var err error
+	if j.req.MX > 1 || j.req.MY > 1 {
+		res, err = core.RunParallelCtx(ctx, cfg, j.req.MX, j.req.MY)
+	} else {
+		var sim *core.Simulator
+		if sim, err = core.New(cfg); err == nil {
+			res, err = sim.RunCtx(ctx)
+		}
+	}
+
+	s.vars.Add("jobs_running", -1)
+	s.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.result = buildResult(cfg, res)
+		j.state = StateDone
+		s.cache.add(j.key, j.result)
+		s.vars.Add("jobs_done", 1)
+	case errors.Is(err, context.Canceled):
+		j.err = err
+		j.state = StateCanceled
+		s.vars.Add("jobs_canceled", 1)
+	default: // includes deadline-exceeded runs
+		j.err = err
+		j.state = StateFailed
+		s.vars.Add("jobs_failed", 1)
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// buildResult shapes a core result as the API payload.
+func buildResult(cfg core.Config, res *core.Result) *Result {
+	out := &Result{Manifest: manifest.New(cfg, res)}
+	for _, tr := range res.Recorder.Traces {
+		out.Traces = append(out.Traces, Trace{
+			Name: tr.Station.Name, I: tr.Station.I, J: tr.Station.J,
+			Dt: tr.Dt, U: tr.U, V: tr.V, W: tr.W,
+		})
+	}
+	return out
+}
+
+// Status reports a job's current state and progress.
+func (s *Service) Status(id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, ErrUnknownJob
+	}
+	st := Status{
+		ID:         j.id,
+		State:      j.state,
+		StepsTotal: j.stepsTotal,
+		CacheHit:   j.cacheHit,
+		Submitted:  j.submitted,
+		Started:    j.started,
+		Finished:   j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	s.mu.Unlock()
+
+	st.StepsDone = int(j.stepsDone.Load())
+	st.SimTime = math.Float64frombits(j.simTime.Load())
+	switch st.State {
+	case StateRunning:
+		st.ElapsedS = time.Since(st.Started).Seconds()
+		if wall, done := time.Duration(j.wall.Load()), st.StepsDone; done > 0 {
+			st.EtaS = (wall.Seconds() / float64(done)) * float64(st.StepsTotal-done)
+		}
+	case StateDone, StateFailed, StateCanceled:
+		st.ElapsedS = st.Finished.Sub(st.Started).Seconds()
+	}
+	return st, nil
+}
+
+// Result returns a finished job's payload. It fails with ErrNotFinished
+// while the job is queued or running, and with the job's own error for
+// failed or canceled jobs.
+func (s *Service) Result(id string) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed, StateCanceled:
+		return nil, j.err
+	default:
+		return nil, ErrNotFinished
+	}
+}
+
+// Cancel requests cancellation of a job. A queued job is canceled
+// immediately; a running job's context is canceled and the engine stops at
+// the next step boundary, freeing its worker. Canceling a finished job is
+// a no-op. Cancel reports whether the job exists.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.done)
+		s.mu.Unlock()
+		j.cancel()
+		s.vars.Add("jobs_canceled", 1)
+		return true
+	}
+	s.mu.Unlock()
+	j.cancel() // no-op unless running
+	return true
+}
+
+// Wait blocks until the job reaches a terminal state or the context ends.
+func (s *Service) Wait(ctx context.Context, id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// Jobs lists the statuses of all known jobs, newest first.
+func (s *Service) Jobs() []Status {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	// IDs are zero-padded sequence numbers, so lexical order is submit order
+	sort.Strings(ids)
+	out := make([]Status, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		if st, err := s.Status(ids[i]); err == nil {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Drain stops accepting submissions, lets the workers finish every queued
+// and running job, and returns when the pool is idle. If the context ends
+// first, all remaining jobs are canceled (stopping within one step) and
+// Drain still waits for the workers to unwind before returning ctx's error.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Metrics is a consistent snapshot of the service counters.
+type Metrics struct {
+	Submitted, Queued, Running      int64
+	Done, Failed, Canceled          int64
+	CacheHits, CacheMisses          int64
+	StepsDone                       int64
+	CacheEntries, Workers, QueueCap int
+}
+
+// Metrics snapshots the counters (the same values /metrics serves).
+func (s *Service) Metrics() Metrics {
+	get := func(name string) int64 {
+		if v, ok := s.vars.Get(name).(*expvar.Int); ok {
+			return v.Value()
+		}
+		return 0
+	}
+	return Metrics{
+		Submitted:    get("jobs_submitted"),
+		Queued:       get("jobs_queued"),
+		Running:      get("jobs_running"),
+		Done:         get("jobs_done"),
+		Failed:       get("jobs_failed"),
+		Canceled:     get("jobs_canceled"),
+		CacheHits:    get("cache_hits"),
+		CacheMisses:  get("cache_misses"),
+		StepsDone:    get("steps_done"),
+		CacheEntries: s.cache.len(),
+		Workers:      s.opts.Workers,
+		QueueCap:     s.opts.QueueSize,
+	}
+}
+
+// Vars exposes the expvar map backing Metrics — quaked serves it at
+// /metrics and can expvar.Publish it for the process-wide registry.
+func (s *Service) Vars() *expvar.Map { return s.vars }

@@ -1,98 +1,25 @@
 package swquake
 
 import (
-	"encoding/json"
-	"io"
-	"os"
-
-	"swquake/internal/seismo"
+	"swquake/internal/manifest"
 )
 
 // RunManifest is a machine-readable summary of a completed simulation —
-// the record a batch system archives next to the outputs.
-type RunManifest struct {
-	Dims       Dims    `json:"dims"`
-	Dx         float64 `json:"dx_m"`
-	Dt         float64 `json:"dt_s"`
-	Steps      int     `json:"steps"`
-	Nonlinear  bool    `json:"nonlinear"`
-	Compressed bool    `json:"compressed"`
-
-	Stations []StationSummary `json:"stations"`
-
-	SurfacePGV       float64 `json:"surface_pgv_m_s,omitempty"`
-	SurfaceIntensity float64 `json:"surface_intensity,omitempty"`
-
-	YieldedPointSteps int64   `json:"yielded_point_steps"`
-	Flops             int64   `json:"flops"`
-	SustainedGflops   float64 `json:"sustained_gflops"`
-
-	Checkpoints []string `json:"checkpoints,omitempty"`
-}
+// the record a batch system archives next to the outputs, and the result
+// payload the job service (package internal/service, daemon cmd/quaked)
+// returns over HTTP. The implementation lives in internal/manifest so the
+// serving layer shares it.
+type RunManifest = manifest.RunManifest
 
 // StationSummary is one station's headline numbers.
-type StationSummary struct {
-	Name      string  `json:"name"`
-	I         int     `json:"i"`
-	J         int     `json:"j"`
-	PGV       float64 `json:"pgv_m_s"`
-	Intensity float64 `json:"intensity"`
-}
+type StationSummary = manifest.StationSummary
 
 // NewRunManifest summarizes a run result against its configuration.
 func NewRunManifest(cfg Config, res *Result) RunManifest {
-	m := RunManifest{
-		Dims:              cfg.Dims,
-		Dx:                cfg.Dx,
-		Dt:                res.Dt,
-		Steps:             res.Steps,
-		Nonlinear:         cfg.Nonlinear,
-		Compressed:        cfg.Compression.Method != CompressionOff,
-		YieldedPointSteps: res.YieldedPointSteps,
-		Flops:             res.Perf.Flops(),
-		SustainedGflops:   res.Perf.Gflops(),
-	}
-	for _, tr := range res.Recorder.Traces {
-		pgv := tr.PeakVelocity()
-		m.Stations = append(m.Stations, StationSummary{
-			Name: tr.Station.Name, I: tr.Station.I, J: tr.Station.J,
-			PGV: pgv, Intensity: seismo.Intensity(pgv),
-		})
-	}
-	if res.PGV != nil {
-		m.SurfacePGV = res.PGV.Max()
-		m.SurfaceIntensity = seismo.Intensity(m.SurfacePGV)
-	}
-	for _, ck := range res.Checkpoints {
-		m.Checkpoints = append(m.Checkpoints, ck.Path)
-	}
-	return m
-}
-
-// Write emits the manifest as indented JSON.
-func (m RunManifest) Write(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(m)
-}
-
-// Save writes the manifest to a file.
-func (m RunManifest) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return m.Write(f)
+	return manifest.New(cfg, res)
 }
 
 // LoadRunManifest reads a manifest back.
 func LoadRunManifest(path string) (RunManifest, error) {
-	var m RunManifest
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return m, err
-	}
-	err = json.Unmarshal(data, &m)
-	return m, err
+	return manifest.Load(path)
 }
