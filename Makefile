@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench repro fuzz clean serve-smoke
+.PHONY: all build check vet test race bench repro fuzz clean serve-smoke crash-test
 
 all: build check test
 
@@ -8,10 +8,11 @@ build:
 	$(GO) build ./...
 
 # static analysis plus the race-sensitive engine packages (the simulated-MPI
-# world, the step-pipeline drivers, and the job service worker pool) under
-# the race detector
+# world, the step-pipeline drivers, the job service worker pool, and the
+# durability layers) under the race detector
 check: vet
-	$(GO) test -race ./internal/core/... ./internal/mpi/... ./internal/service/...
+	$(GO) test -race ./internal/core/... ./internal/mpi/... ./internal/service/... \
+		./internal/checkpoint/ ./internal/faultinject/
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +37,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecompress -fuzztime 30s ./internal/lz4/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime 30s ./internal/lz4/
 	$(GO) test -fuzz=FuzzLoad -fuzztime 30s ./internal/checkpoint/
+
+# the fault-tolerance suite under the race detector: failpoint-injected
+# checkpoint corruption/write errors, worker panics, journal recovery, and
+# the subprocess kill-and-restart drill in cmd/quaked
+crash-test:
+	$(GO) test -race ./internal/faultinject/ ./internal/atomicio/
+	$(GO) test -race ./internal/checkpoint/ -run 'Atomic|Corrupt|Truncat|Valid|GC|Aux'
+	$(GO) test -race ./internal/service/ -run 'Journal|Recover|Retry|Panic|Drain|Cancel'
+	$(GO) test -race ./cmd/quaked/ -run 'KillRestart|RestartSkips|Faults'
 
 # boot the quaked daemon on a random loopback port and drive one job
 # through the real HTTP API: submit -> poll -> result -> cache hit -> metrics

@@ -63,6 +63,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		MX:      req.MX,
 		MY:      req.MY,
 		Timeout: time.Duration(req.TimeoutS * float64(time.Second)),
+		// every HTTP submission is scenario-shaped, hence replayable: the
+		// spec is what the durable journal records and recovery re-runs
+		Spec: &service.JobSpec{
+			Scenario:  req.Scenario,
+			Overrides: req.Overrides,
+			MX:        req.MX,
+			MY:        req.MY,
+			TimeoutS:  req.TimeoutS,
+		},
 	})
 	switch {
 	case errors.Is(err, service.ErrQueueFull):

@@ -27,6 +27,15 @@
 // On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
 // running jobs (bounded by -drain-timeout, after which they are canceled
 // at the next step boundary) and exits.
+//
+// With -data DIR the daemon is durable: accepted jobs are journaled to
+// DIR/journal.jsonl (fsynced before the submit response), running serial
+// jobs auto-checkpoint under DIR/checkpoints/<job>/, and a reboot with the
+// same -data replays the journal — unfinished jobs are requeued and resume
+// from the newest checkpoint that passes integrity checks (a corrupted
+// latest falls back to the one before it). Transient failures, including
+// worker panics, are retried with capped exponential backoff up to
+// -max-attempts.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"swquake/internal/faultinject"
 	"swquake/internal/service"
 )
 
@@ -62,22 +72,48 @@ func run(args []string) error {
 		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
 		selftest     = fs.Bool("selftest", false, "boot on a random port, run one job through the API, exit")
+
+		dataDir    = fs.String("data", "", "durable data directory: journal + auto-checkpoints; enables crash recovery on boot")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "auto-checkpoint interval in solver steps for durable jobs (0 = 25, negative disables)")
+		ckptKeep   = fs.Int("checkpoint-keep", 0, "checkpoints retained per job (0 = 3)")
+		maxAttempt = fs.Int("max-attempts", 0, "attempts per job before failure is permanent (0 = 3 with -data, else 1)")
+		retryWait  = fs.Duration("retry-backoff", 0, "base retry backoff, doubled per attempt up to 32x (0 = 100ms)")
+		faults     = fs.String("faults", "", "fault-injection spec, e.g. 'checkpoint/corrupt:times=1;io/slow:delay=5ms' (testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *faults != "" {
+		if err := faultinject.EnableSpec(*faults); err != nil {
+			return err
+		}
+		log.Printf("quaked: fault injection armed: %s", *faults)
+	}
 
 	opts := service.Options{
-		Workers:        *workers,
-		QueueSize:      *queueSize,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *jobTimeout,
+		Workers:         *workers,
+		QueueSize:       *queueSize,
+		CacheSize:       *cacheSize,
+		DefaultTimeout:  *jobTimeout,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
+		MaxAttempts:     *maxAttempt,
+		RetryBackoff:    *retryWait,
 	}
 	if *selftest {
 		return runSelftest(opts)
 	}
 
-	svc := service.New(opts)
+	svc, err := service.Open(opts)
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		m := svc.Metrics()
+		log.Printf("quaked: durable mode, data dir %s (%d jobs recovered from journal)",
+			*dataDir, m.Recovered)
+	}
 	expvar.Publish("quaked", svc.Vars())
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// Total solver steps for the kill-and-restart crash drill.
+const e2eSteps = 1500

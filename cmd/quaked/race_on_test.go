@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// The race detector slows the solver by an order of magnitude; the crash
+// drill keeps the same shape (kill after >=45 steps, >=2 checkpoints on
+// disk) but runs fewer total steps so the resumed run fits the poll window.
+const e2eSteps = 400

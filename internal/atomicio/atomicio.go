@@ -1,0 +1,60 @@
+// Package atomicio provides crash-safe file replacement: content is written
+// to a temporary file in the destination directory, fsynced, and renamed
+// over the target, so readers either see the complete old file or the
+// complete new one — never a torn write. The checkpoint writer and every
+// internal/output product writer go through this one helper, which is also
+// where the io/slow failpoint hooks in.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"swquake/internal/faultinject"
+)
+
+// WriteFile atomically replaces path with the bytes the write callback
+// produces. On any error the temporary file is removed and the target is
+// left untouched. After the rename the containing directory is synced
+// (best-effort) so the new entry survives a power failure too.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	faultinject.Fire(faultinject.SlowIO)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(name)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(name, path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for ready-made content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,70 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileBytes(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "first" {
+		t.Fatalf("content %q", data)
+	}
+	if err := WriteFileBytes(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "second" {
+		t.Fatalf("content after replace %q", data)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}
+
+func TestWriteFileErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileBytes(path, []byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("writer failed")
+	err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "intact" {
+		t.Fatalf("target clobbered: %q", data)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp files left behind after error: %v", names)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	if err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}

@@ -40,12 +40,18 @@ func (c *AsyncController) MaybeSave(step int, simTime float64, wf *fd.Wavefield)
 	c.pending++
 	c.mu.Unlock()
 
+	// snapshot the wavefield AND the aux state now — by the time the
+	// background write runs, the solver has moved on
 	snap := wf.Clone()
+	var aux []byte
+	if c.Controller.Aux != nil {
+		aux = c.Controller.Aux()
+	}
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
 		c.writeMu.Lock()
-		info, saved, err := c.Controller.MaybeSave(step, simTime, snap)
+		info, saved, err := c.Controller.saveAux(step, simTime, snap, aux)
 		c.writeMu.Unlock()
 		c.mu.Lock()
 		defer c.mu.Unlock()

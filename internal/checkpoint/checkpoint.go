@@ -4,16 +4,27 @@
 // through an I/O plan that models the paper's group I/O and balanced I/O
 // forwarding, which together reached 120 GB/s — 92.3% of the file system
 // peak.
+//
+// Checkpoints are the fault-tolerance contract of long runs, so the on-disk
+// format is defensive: files are written atomically (temp + fsync + rename
+// via atomicio), the header carries its own CRC32, every compressed block
+// is checksummed, and Load validates all declared lengths before decoding.
+// LatestValid falls back past corrupt or truncated dumps to the newest one
+// that passes every check.
 package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"swquake/internal/atomicio"
+	"swquake/internal/faultinject"
 	"swquake/internal/fd"
 	"swquake/internal/grid"
 	"swquake/internal/lz4"
@@ -22,7 +33,17 @@ import (
 // magic identifies checkpoint files.
 const magic = 0x53574b51 // "SWKQ"
 
-const version = 1
+// version 2 adds the header CRC and the optional aux section; version-1
+// files (no integrity header) are rejected with a clear error.
+const version = 2
+
+// headerSize is the fixed v2 header: magic, version, step, simTime,
+// nx, ny, nz, auxLen, headerCRC.
+const headerSize = 4 + 4 + 8 + 8 + 4 + 4 + 4 + 4 + 4
+
+// ErrNoCheckpoint is returned by LatestValid when the directory holds no
+// checkpoint that passes the integrity checks.
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint")
 
 // Info reports what a Save wrote.
 type Info struct {
@@ -34,60 +55,121 @@ type Info struct {
 
 // Save writes a checkpoint of the wavefield at the given step and sim time.
 func Save(path string, step int, simTime float64, wf *fd.Wavefield) (Info, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return Info{}, err
-	}
-	defer f.Close()
+	return SaveAux(path, step, simTime, wf, nil)
+}
 
+// SaveAux is Save with an opaque auxiliary payload stored (CRC-protected)
+// between the header and the field blocks — the engine keeps its resume
+// state (recorder samples, PGV peaks, plasticity/perf counters) there so a
+// restarted run is indistinguishable from an uninterrupted one. The file is
+// written atomically: a crash mid-write leaves the previous checkpoint (or
+// nothing), never a torn file.
+func SaveAux(path string, step int, simTime float64, wf *fd.Wavefield, aux []byte) (Info, error) {
 	var info Info
 	info.Path = path
-	hdr := make([]byte, 0, 64)
-	hdr = binary.LittleEndian.AppendUint32(hdr, magic)
-	hdr = binary.LittleEndian.AppendUint32(hdr, version)
-	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(step))
-	hdr = binary.LittleEndian.AppendUint64(hdr, floatBits(simTime))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(wf.D.Nx))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(wf.D.Ny))
-	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(wf.D.Nz))
-	if _, err := f.Write(hdr); err != nil {
-		return info, err
+	if err := faultinject.Check(faultinject.CheckpointWrite); err != nil {
+		return info, fmt.Errorf("checkpoint: write %s: %w", path, err)
 	}
-
-	for _, field := range wf.AllFields() {
-		raw := float32Bytes(field.Data)
-		comp := lz4.CompressAlloc(raw)
-		blk := make([]byte, 0, 16+len(comp))
-		blk = binary.LittleEndian.AppendUint32(blk, uint32(len(raw)))
-		blk = binary.LittleEndian.AppendUint32(blk, uint32(len(comp)))
-		blk = binary.LittleEndian.AppendUint32(blk, crc32.ChecksumIEEE(comp))
-		blk = append(blk, comp...)
-		if _, err := f.Write(blk); err != nil {
-			return info, err
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		hdr := make([]byte, 0, headerSize)
+		hdr = binary.LittleEndian.AppendUint32(hdr, magic)
+		hdr = binary.LittleEndian.AppendUint32(hdr, version)
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(step))
+		hdr = binary.LittleEndian.AppendUint64(hdr, floatBits(simTime))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(wf.D.Nx))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(wf.D.Ny))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(wf.D.Nz))
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(aux)))
+		hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
+		if _, err := w.Write(hdr); err != nil {
+			return err
 		}
-		info.RawBytes += int64(len(raw))
-		info.CompressedBytes += int64(len(comp))
+		if len(aux) > 0 {
+			if _, err := w.Write(aux); err != nil {
+				return err
+			}
+			var crc [4]byte
+			binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(aux))
+			if _, err := w.Write(crc[:]); err != nil {
+				return err
+			}
+		}
+		for _, field := range wf.AllFields() {
+			raw := float32Bytes(field.Data)
+			comp := lz4.CompressAlloc(raw)
+			blk := make([]byte, 0, 12+len(comp))
+			blk = binary.LittleEndian.AppendUint32(blk, uint32(len(raw)))
+			blk = binary.LittleEndian.AppendUint32(blk, uint32(len(comp)))
+			blk = binary.LittleEndian.AppendUint32(blk, crc32.ChecksumIEEE(comp))
+			blk = append(blk, comp...)
+			if _, err := w.Write(blk); err != nil {
+				return err
+			}
+			info.RawBytes += int64(len(raw))
+			info.CompressedBytes += int64(len(comp))
+		}
+		return nil
+	})
+	if err != nil {
+		return Info{Path: path}, err
+	}
+	if faultinject.Fire(faultinject.CheckpointCorrupt) {
+		corruptFile(path)
 	}
 	if info.CompressedBytes > 0 {
 		info.CompressionRatio = float64(info.RawBytes) / float64(info.CompressedBytes)
 	}
-	return info, f.Sync()
+	return info, nil
+}
+
+// corruptFile flips one byte in the middle of the file — the
+// checkpoint/corrupt failpoint's payload, simulating a dump damaged on disk.
+func corruptFile(path string) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		off := st.Size() / 2
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err == nil {
+			b[0] ^= 0xff
+			f.WriteAt(b[:], off)
+		}
+	}
 }
 
 // Load reads a checkpoint, returning the step, sim time and wavefield.
 func Load(path string) (int, float64, *fd.Wavefield, error) {
+	step, simTime, wf, _, err := LoadAux(path)
+	return step, simTime, wf, err
+}
+
+// LoadAux is Load plus the auxiliary payload (nil when the checkpoint
+// carries none). Every declared length is validated against the file size
+// before any decode, so truncated files fail with an explicit "truncated"
+// error rather than a confusing unpack failure, and corruption anywhere —
+// header, aux, or blocks — is caught by a CRC mismatch.
+func LoadAux(path string) (int, float64, *fd.Wavefield, []byte, error) {
+	fail := func(format string, args ...any) (int, float64, *fd.Wavefield, []byte, error) {
+		return 0, 0, nil, nil, fmt.Errorf("checkpoint: %s: %s", path, fmt.Sprintf(format, args...))
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, nil, err
 	}
-	if len(data) < 36 {
-		return 0, 0, nil, fmt.Errorf("checkpoint: file too short")
+	if len(data) < headerSize {
+		return fail("truncated: header needs %d bytes, file has %d", headerSize, len(data))
 	}
 	if binary.LittleEndian.Uint32(data[0:]) != magic {
-		return 0, 0, nil, fmt.Errorf("checkpoint: bad magic")
+		return fail("bad magic")
 	}
 	if v := binary.LittleEndian.Uint32(data[4:]); v != version {
-		return 0, 0, nil, fmt.Errorf("checkpoint: unsupported version %d", v)
+		return fail("unsupported version %d (want %d)", v, version)
+	}
+	if got, want := crc32.ChecksumIEEE(data[:headerSize-4]), binary.LittleEndian.Uint32(data[headerSize-4:]); got != want {
+		return fail("header CRC mismatch")
 	}
 	step := int(binary.LittleEndian.Uint64(data[8:]))
 	simTime := floatFromBits(binary.LittleEndian.Uint64(data[16:]))
@@ -97,36 +179,58 @@ func Load(path string) (int, float64, *fd.Wavefield, error) {
 		Nz: int(binary.LittleEndian.Uint32(data[32:])),
 	}
 	if !d.Valid() {
-		return 0, 0, nil, fmt.Errorf("checkpoint: invalid dims %v", d)
+		return fail("invalid dims %v", d)
+	}
+	// a genuine file holds 9 compressed field blocks; dims whose fields could
+	// not possibly fit (even at the codec's best ratio) are rejected before
+	// the wavefield allocation, not after an OOM
+	if minSize := int64(d.Points()) * 9 * 4 / 256; int64(len(data)) < minSize {
+		return fail("dims %v imply at least %d bytes of blocks, file has %d", d, minSize, len(data))
+	}
+	auxLen := int(binary.LittleEndian.Uint32(data[36:]))
+	off := headerSize
+	var aux []byte
+	if auxLen > 0 {
+		if len(data)-off < auxLen+4 {
+			return fail("truncated: aux section needs %d bytes, %d remain", auxLen+4, len(data)-off)
+		}
+		body := data[off : off+auxLen]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[off+auxLen:]) {
+			return fail("aux CRC mismatch")
+		}
+		aux = append([]byte(nil), body...)
+		off += auxLen + 4
 	}
 	wf := fd.NewWavefield(d)
-	off := 36
-	for _, field := range wf.AllFields() {
-		if off+12 > len(data) {
-			return 0, 0, nil, fmt.Errorf("checkpoint: truncated block header")
+	for i, field := range wf.AllFields() {
+		if len(data)-off < 12 {
+			return fail("truncated: block %d header missing", i)
 		}
 		rawLen := int(binary.LittleEndian.Uint32(data[off:]))
 		compLen := int(binary.LittleEndian.Uint32(data[off+4:]))
 		wantCRC := binary.LittleEndian.Uint32(data[off+8:])
 		off += 12
-		if off+compLen > len(data) {
-			return 0, 0, nil, fmt.Errorf("checkpoint: truncated block body")
+		if rawLen != len(field.Data)*4 {
+			return fail("block %d declares %d raw bytes, field holds %d", i, rawLen, len(field.Data)*4)
+		}
+		if compLen > len(data)-off {
+			return fail("truncated: block %d needs %d bytes, %d remain", i, compLen, len(data)-off)
 		}
 		comp := data[off : off+compLen]
 		if crc32.ChecksumIEEE(comp) != wantCRC {
-			return 0, 0, nil, fmt.Errorf("checkpoint: block CRC mismatch")
+			return fail("block %d CRC mismatch", i)
 		}
 		raw, err := lz4.DecompressAlloc(comp, rawLen)
 		if err != nil {
-			return 0, 0, nil, fmt.Errorf("checkpoint: %w", err)
-		}
-		if rawLen != len(field.Data)*4 {
-			return 0, 0, nil, fmt.Errorf("checkpoint: field size mismatch")
+			return fail("block %d: %v", i, err)
 		}
 		bytesToFloat32(field.Data, raw)
 		off += compLen
 	}
-	return step, simTime, wf, nil
+	if off != len(data) {
+		return fail("%d trailing bytes after last block", len(data)-off)
+	}
+	return step, simTime, wf, aux, nil
 }
 
 // Controller saves checkpoints every Interval steps into Dir, keeping the
@@ -135,7 +239,11 @@ type Controller struct {
 	Dir      string
 	Interval int
 	Keep     int
-	saved    []string
+	// Aux, when non-nil, is called at save time and its bytes are stored in
+	// the checkpoint's auxiliary section. The serial engine hangs its resume
+	// state (recorder, PGV, counters) here; parallel runs leave it nil and
+	// checkpoint the gathered wavefield alone.
+	Aux func() []byte
 }
 
 // Due reports whether a checkpoint falls on this step — the interval test
@@ -150,24 +258,45 @@ func (c *Controller) MaybeSave(step int, simTime float64, wf *fd.Wavefield) (Inf
 	if !c.Due(step) {
 		return Info{}, false, nil
 	}
+	var aux []byte
+	if c.Aux != nil {
+		aux = c.Aux()
+	}
+	return c.saveAux(step, simTime, wf, aux)
+}
+
+// saveAux writes the due checkpoint and applies the retention policy. The
+// async controller calls it directly with aux captured at snapshot time.
+func (c *Controller) saveAux(step int, simTime float64, wf *fd.Wavefield, aux []byte) (Info, bool, error) {
 	path := filepath.Join(c.Dir, fmt.Sprintf("ckpt-%08d.swq", step))
-	info, err := Save(path, step, simTime, wf)
+	info, err := SaveAux(path, step, simTime, wf, aux)
 	if err != nil {
 		return info, false, err
 	}
-	c.saved = append(c.saved, path)
-	for c.Keep > 0 && len(c.saved) > c.Keep {
-		os.Remove(c.saved[0])
-		c.saved = c.saved[1:]
-	}
+	c.gc()
 	return info, true, nil
 }
 
-// Latest returns the newest checkpoint path in Dir, or "" if none.
-func (c *Controller) Latest() string {
-	entries, err := os.ReadDir(c.Dir)
+// gc removes the oldest checkpoints beyond Keep. It scans the directory
+// rather than an in-memory list, so retention also holds for files written
+// by a previous (crashed) process resuming into the same directory.
+func (c *Controller) gc() {
+	if c.Keep <= 0 {
+		return
+	}
+	names := checkpointNames(c.Dir)
+	for len(names) > c.Keep {
+		os.Remove(filepath.Join(c.Dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// checkpointNames lists the .swq files in dir, oldest first (names embed
+// the zero-padded step, so lexical order is step order).
+func checkpointNames(dir string) []string {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return ""
+		return nil
 	}
 	var names []string
 	for _, e := range entries {
@@ -175,11 +304,34 @@ func (c *Controller) Latest() string {
 			names = append(names, e.Name())
 		}
 	}
+	sort.Strings(names)
+	return names
+}
+
+// Latest returns the newest checkpoint path in Dir, or "" if none. It does
+// not open the file; use LatestValid when the file must also be loadable.
+func (c *Controller) Latest() string {
+	names := checkpointNames(c.Dir)
 	if len(names) == 0 {
 		return ""
 	}
-	sort.Strings(names)
 	return filepath.Join(c.Dir, names[len(names)-1])
+}
+
+// LatestValid returns the newest checkpoint in dir that passes every
+// integrity check (header CRC, aux CRC, per-block CRCs, length validation),
+// skipping corrupt or truncated files — the fallback a recovering process
+// needs when a failure damaged the most recent dump. It returns
+// ErrNoCheckpoint when nothing in the directory is loadable.
+func LatestValid(dir string) (string, error) {
+	names := checkpointNames(dir)
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		if _, _, _, _, err := LoadAux(path); err == nil {
+			return path, nil
+		}
+	}
+	return "", ErrNoCheckpoint
 }
 
 func float32Bytes(src []float32) []byte {

@@ -27,6 +27,29 @@ func FuzzLoad(f *testing.F) {
 	trunc[40] ^= 0xff
 	f.Add(trunc)
 
+	// v2-specific seeds: a file carrying an aux section, a flipped bit
+	// inside the checksummed header, a flipped aux byte, and a header that
+	// declares a huge aux length with no bytes behind it.
+	auxPath := filepath.Join(dir, "aux.swq")
+	if _, err := SaveAux(auxPath, 4, 2.0, testWavefield(98), []byte("fuzz aux payload")); err != nil {
+		f.Fatal(err)
+	}
+	withAux, err := os.ReadFile(auxPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withAux)
+	badHeader := append([]byte{}, valid...)
+	badHeader[9] ^= 0x01 // inside the step field, covered by the header CRC
+	f.Add(badHeader)
+	badAux := append([]byte{}, withAux...)
+	badAux[headerSize+2] ^= 0xff
+	f.Add(badAux)
+	hugeAux := append([]byte{}, valid[:headerSize]...)
+	hugeAux[32], hugeAux[33], hugeAux[34], hugeAux[35] = 0xff, 0xff, 0xff, 0x7f // auxLen
+	f.Add(hugeAux)
+	f.Add(append(append([]byte{}, valid...), 0xde, 0xad)) // trailing garbage
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p := filepath.Join(t.TempDir(), "f.swq")
 		if err := os.WriteFile(p, data, 0o644); err != nil {
@@ -37,6 +60,10 @@ func FuzzLoad(f *testing.F) {
 			if wf == nil || step < 0 || tm != tm /* NaN check */ {
 				t.Fatalf("accepted invalid state: step=%d tm=%g wf=%v", step, tm, wf != nil)
 			}
+		}
+		// the aux-aware loader must be just as crash-proof
+		if _, _, _, _, err := LoadAux(p); err == nil && data == nil {
+			t.Fatal("nil file accepted")
 		}
 	})
 }

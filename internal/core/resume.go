@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"swquake/internal/seismo"
+)
+
+// The resume-aux section rides inside a checkpoint (the aux payload of
+// checkpoint.SaveAux) and carries the serial run state the wavefield alone
+// cannot reproduce: recorded seismogram samples, the running PGV peaks,
+// the plasticity yield counter and the Perf accounting. With it, a run
+// resumed from a checkpoint produces a manifest and traces bit-identical
+// to an uninterrupted run — without it, a resumed run would restart its
+// recorders empty and under-report everything accumulated before the
+// crash.
+//
+// Layout (little-endian): magic "RSA1", yielded i64, 5 perf counters i64,
+// elapsed ns i64, recorder steps u32, trace count u32, per trace a sample
+// count u32 + U/V/W float32 samples, then a PGV flag byte and (if set)
+// nx/ny/k u32 + float64 peaks. Integrity is the checkpoint layer's job
+// (the aux CRC); this codec only validates structure.
+
+var resumeMagic = [4]byte{'R', 'S', 'A', '1'}
+
+// resumeAux serializes the simulator's replay state for SaveAux.
+func (s *Simulator) resumeAux() []byte {
+	var buf bytes.Buffer
+	buf.Write(resumeMagic[:])
+	le := binary.LittleEndian
+	writeI64 := func(v int64) {
+		var b [8]byte
+		le.PutUint64(b[:], uint64(v))
+		buf.Write(b[:])
+	}
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	writeI64(s.yielded)
+	writeI64(s.perf.VelocityPoints)
+	writeI64(s.perf.StressPoints)
+	writeI64(s.perf.PlasticityPoints)
+	writeI64(s.perf.SpongePoints)
+	writeI64(s.perf.Steps)
+	writeI64(int64(s.perf.Elapsed))
+
+	writeU32(uint32(s.rec.StepsSeen()))
+	writeU32(uint32(len(s.rec.Traces)))
+	for _, tr := range s.rec.Traces {
+		writeU32(uint32(len(tr.U)))
+		for _, c := range [][]float32{tr.U, tr.V, tr.W} {
+			for _, v := range c {
+				writeU32(math.Float32bits(v))
+			}
+		}
+	}
+
+	if s.pgv == nil {
+		buf.WriteByte(0)
+	} else {
+		buf.WriteByte(1)
+		writeU32(uint32(s.pgv.Nx))
+		writeU32(uint32(s.pgv.Ny))
+		writeU32(uint32(s.pgv.K))
+		for _, v := range s.pgv.PGV {
+			var b [8]byte
+			le.PutUint64(b[:], math.Float64bits(v))
+			buf.Write(b[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+// applyResumeAux restores the state resumeAux captured. The simulator must
+// already be configured with the same stations and PGV setting as the run
+// that wrote the checkpoint.
+func (s *Simulator) applyResumeAux(data []byte) error {
+	le := binary.LittleEndian
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("core: resume aux: "+format, args...)
+	}
+	if len(data) < 4 || !bytes.Equal(data[:4], resumeMagic[:]) {
+		return fail("bad magic")
+	}
+	rest := data[4:]
+	readI64 := func() (int64, error) {
+		if len(rest) < 8 {
+			return 0, fail("truncated")
+		}
+		v := int64(le.Uint64(rest))
+		rest = rest[8:]
+		return v, nil
+	}
+	readU32 := func() (uint32, error) {
+		if len(rest) < 4 {
+			return 0, fail("truncated")
+		}
+		v := le.Uint32(rest)
+		rest = rest[4:]
+		return v, nil
+	}
+
+	var vals [7]int64
+	for i := range vals {
+		v, err := readI64()
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+
+	steps, err := readU32()
+	if err != nil {
+		return err
+	}
+	nTraces, err := readU32()
+	if err != nil {
+		return err
+	}
+	if int(nTraces) != len(s.rec.Traces) {
+		return fail("%d traces in checkpoint, simulator has %d stations", nTraces, len(s.rec.Traces))
+	}
+	traces := make([][3][]float32, nTraces)
+	for i := range traces {
+		n, err := readU32()
+		if err != nil {
+			return err
+		}
+		if int64(n)*12 > int64(len(rest)) {
+			return fail("trace %d declares %d samples, %d bytes remain", i, n, len(rest))
+		}
+		for c := 0; c < 3; c++ {
+			samples := make([]float32, n)
+			for j := range samples {
+				bits, err := readU32()
+				if err != nil {
+					return err
+				}
+				samples[j] = math.Float32frombits(bits)
+			}
+			traces[i][c] = samples
+		}
+	}
+
+	if len(rest) < 1 {
+		return fail("truncated")
+	}
+	hasPGV := rest[0] == 1
+	rest = rest[1:]
+	var pgv *seismo.PGVField
+	if hasPGV {
+		nx, err := readU32()
+		if err != nil {
+			return err
+		}
+		ny, err2 := readU32()
+		if err2 != nil {
+			return err2
+		}
+		k, err3 := readU32()
+		if err3 != nil {
+			return err3
+		}
+		want := int64(nx) * int64(ny) * 8
+		if want != int64(len(rest)) {
+			return fail("PGV %dx%d needs %d bytes, %d remain", nx, ny, want, len(rest))
+		}
+		pgv = seismo.NewPGVField(int(nx), int(ny), int(k))
+		for i := range pgv.PGV {
+			pgv.PGV[i] = math.Float64frombits(le.Uint64(rest[i*8:]))
+		}
+		rest = rest[want:]
+	}
+	if len(rest) != 0 {
+		return fail("%d trailing bytes", len(rest))
+	}
+	if hasPGV != (s.pgv != nil) {
+		return fail("PGV presence mismatch (checkpoint %v, config %v)", hasPGV, s.pgv != nil)
+	}
+	if pgv != nil && (pgv.Nx != s.pgv.Nx || pgv.Ny != s.pgv.Ny) {
+		return fail("PGV dims %dx%d do not match config %dx%d", pgv.Nx, pgv.Ny, s.pgv.Nx, s.pgv.Ny)
+	}
+
+	// everything validated — commit
+	s.yielded = vals[0]
+	s.perf.VelocityPoints = vals[1]
+	s.perf.StressPoints = vals[2]
+	s.perf.PlasticityPoints = vals[3]
+	s.perf.SpongePoints = vals[4]
+	s.perf.Steps = vals[5]
+	s.perf.Elapsed = time.Duration(vals[6])
+	s.rec.SetStepsSeen(int(steps))
+	for i, tr := range s.rec.Traces {
+		tr.U, tr.V, tr.W = traces[i][0], traces[i][1], traces[i][2]
+	}
+	if pgv != nil {
+		s.pgv = pgv
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"swquake/internal/checkpoint"
+)
+
+// TestResumeReproducesTracesAndPGV is the exactness contract of the
+// resume-aux section: a run interrupted after its checkpoint and resumed
+// through Config.RestartFrom must deliver traces, PGV peaks, the yield
+// counter and the perf point counts bit-identical to an uninterrupted run
+// — not just the final wavefield.
+func TestResumeReproducesTracesAndPGV(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Steps = 40
+	cfg.Nonlinear = true
+	cfg.Plasticity = PlasticityConfig{Cohesion: 1e4, FrictionAngle: 0.5}
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// interrupted leg: checkpoint at step 20 (with aux), stop
+	dir := t.TempDir()
+	half := cfg
+	half.Steps = 20
+	half.Checkpoint = &checkpoint.Controller{Dir: dir, Interval: 20, Keep: 2}
+	sim1, err := New(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim1.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// the checkpoint written via RunCtx must carry an aux section
+	ck := half.Checkpoint.Latest()
+	if _, _, _, aux, err := checkpoint.LoadAux(ck); err != nil || len(aux) == 0 {
+		t.Fatalf("checkpoint aux: %d bytes, err %v", len(aux), err)
+	}
+
+	// resumed leg: fresh simulator, RestartFrom, run to completion
+	resumeCfg := cfg
+	resumeCfg.RestartFrom = ck
+	sim2, err := New(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2.Cfg.Dt = ref.Cfg.Dt
+	res2, err := sim2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// traces: every sample identical, including the pre-checkpoint ones
+	if len(res2.Recorder.Traces) != len(refRes.Recorder.Traces) {
+		t.Fatalf("trace count %d vs %d", len(res2.Recorder.Traces), len(refRes.Recorder.Traces))
+	}
+	for ti, tr := range res2.Recorder.Traces {
+		want := refRes.Recorder.Traces[ti]
+		if len(tr.U) != len(want.U) {
+			t.Fatalf("trace %d: %d samples, want %d", ti, len(tr.U), len(want.U))
+		}
+		for i := range tr.U {
+			if tr.U[i] != want.U[i] || tr.V[i] != want.V[i] || tr.W[i] != want.W[i] {
+				t.Fatalf("trace %d sample %d differs after resume", ti, i)
+			}
+		}
+	}
+
+	// PGV: pointwise identical (peaks reached before the checkpoint matter)
+	for i, v := range res2.PGV.PGV {
+		if v != refRes.PGV.PGV[i] {
+			t.Fatalf("PGV[%d] = %g, want %g", i, v, refRes.PGV.PGV[i])
+		}
+	}
+
+	// counters the manifest reports
+	if res2.YieldedPointSteps != refRes.YieldedPointSteps {
+		t.Fatalf("yielded %d, want %d", res2.YieldedPointSteps, refRes.YieldedPointSteps)
+	}
+	if res2.Perf.Steps != refRes.Perf.Steps ||
+		res2.Perf.VelocityPoints != refRes.Perf.VelocityPoints ||
+		res2.Perf.PlasticityPoints != refRes.Perf.PlasticityPoints {
+		t.Fatalf("perf counters differ: %+v vs %+v", res2.Perf, refRes.Perf)
+	}
+
+	// and the wavefield, as before
+	for i, f := range refRes.Sim.WF.AllFields() {
+		if !f.InteriorEqual(res2.Sim.WF.AllFields()[i], 0) {
+			t.Fatalf("field %d differs after resume", i)
+		}
+	}
+}
+
+// TestResumeAuxValidation exercises the decoder against malformed and
+// mismatched payloads: every rejection must happen before any simulator
+// state is mutated.
+func TestResumeAuxValidation(t *testing.T) {
+	cfg := baseConfig()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		sim.Step()
+	}
+	good := sim.resumeAux()
+
+	fresh := func() *Simulator {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// round trip restores the counters
+	s := fresh()
+	if err := s.applyResumeAux(good); err != nil {
+		t.Fatal(err)
+	}
+	if s.perf.Steps != 5 || s.rec.StepsSeen() != 5 {
+		t.Fatalf("restored perf.Steps=%d stepsSeen=%d", s.perf.Steps, s.rec.StepsSeen())
+	}
+	if len(s.rec.Traces[0].U) != len(sim.rec.Traces[0].U) {
+		t.Fatal("trace samples not restored")
+	}
+	if math.IsNaN(s.pgv.Max()) || s.pgv.Max() != sim.pgv.Max() {
+		t.Fatalf("PGV max %g, want %g", s.pgv.Max(), sim.pgv.Max())
+	}
+
+	bad := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		good[:len(good)-3], // truncated PGV block
+		good[:20],          // truncated counters
+		append(good, 0),    // trailing byte
+	}
+	for i, data := range bad {
+		s := fresh()
+		if err := s.applyResumeAux(data); err == nil {
+			t.Fatalf("bad aux %d accepted", i)
+		}
+		if s.perf.Steps != 0 || s.rec.StepsSeen() != 0 {
+			t.Fatalf("bad aux %d mutated state before failing", i)
+		}
+	}
+
+	// station-count mismatch
+	other := cfg
+	other.Stations = nil
+	so, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := so.applyResumeAux(good); err == nil {
+		t.Fatal("station mismatch accepted")
+	}
+
+	// a checkpoint from a PGV-less run cannot resume a PGV run
+	noPGV := cfg
+	noPGV.RecordPGV = false
+	sn, err := New(noPGV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.Step()
+	if err := fresh().applyResumeAux(sn.resumeAux()); err == nil {
+		t.Fatal("PGV presence mismatch accepted")
+	}
+}
+
+// TestAsyncCheckpointCarriesAux drives the async controller through RunCtx
+// and checks the background-written checkpoint still has the aux snapshot
+// taken at enqueue time.
+func TestAsyncCheckpointCarriesAux(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Steps = 20
+	dir := t.TempDir()
+	async := &checkpoint.AsyncController{Controller: checkpoint.Controller{Dir: dir, Interval: 10, Keep: 2}}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async.Controller.Aux = sim.resumeAux
+	for sim.StepCount() < cfg.Steps {
+		sim.Step()
+		if _, err := async.MaybeSave(sim.StepCount(), sim.Time(), sim.WF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := async.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("%d async checkpoints", len(infos))
+	}
+	step, _, _, aux, err := checkpoint.LoadAux(filepath.Join(dir, "ckpt-00000020.swq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 20 || len(aux) == 0 {
+		t.Fatalf("async checkpoint step=%d auxLen=%d", step, len(aux))
+	}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.applyResumeAux(aux); err != nil {
+		t.Fatal(err)
+	}
+	if s2.rec.StepsSeen() != 20 {
+		t.Fatalf("aux steps seen %d", s2.rec.StepsSeen())
+	}
+}

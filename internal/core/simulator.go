@@ -213,6 +213,11 @@ func (s *Simulator) Run() (*Result, error) {
 // step-pipeline boundary, so a canceled or expired context stops the run
 // within one step and returns the context's cause wrapped in the error.
 func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
+	if c := s.Cfg.Checkpoint; c != nil && c.Aux == nil {
+		// checkpoints written by this serial run carry the replay state
+		// (traces, PGV, perf) so a resumed run is bit-identical
+		c.Aux = s.resumeAux
+	}
 	if s.Cfg.RestartFrom != "" && s.step == 0 {
 		if err := s.Restore(s.Cfg.RestartFrom); err != nil {
 			return nil, err
@@ -263,14 +268,22 @@ func (s *Simulator) observe(runStart time.Time) {
 var timeNow = time.Now
 
 // Restore loads a checkpoint into the simulator (step count, time and
-// wavefield), resuming a run after a failure.
+// wavefield), resuming a run after a failure. When the checkpoint carries
+// a resume-aux section (written by serial runs), the recorder traces, PGV
+// peaks, yield counter and perf accounting are restored too, so the
+// resumed run's outputs match an uninterrupted run exactly.
 func (s *Simulator) Restore(path string) error {
-	step, tm, wf, err := checkpoint.Load(path)
+	step, tm, wf, aux, err := checkpoint.LoadAux(path)
 	if err != nil {
 		return err
 	}
 	if wf.D != s.Cfg.Dims {
 		return fmt.Errorf("core: checkpoint dims %v do not match config %v", wf.D, s.Cfg.Dims)
+	}
+	if len(aux) > 0 {
+		if err := s.applyResumeAux(aux); err != nil {
+			return err
+		}
 	}
 	s.WF = wf
 	s.step = step

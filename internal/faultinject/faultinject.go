@@ -1,0 +1,188 @@
+// Package faultinject is the fault-injection harness of the fault-tolerance
+// layer: a registry of named failpoints compiled into the checkpoint, I/O
+// and job-service paths and toggled from tests (or from quaked's -faults
+// flag for end-to-end crash drills). A disabled failpoint costs one mutex
+// check; nothing fires unless a test enables it, so production behaviour is
+// unchanged.
+//
+// The points model the failures the paper's restart machinery exists to
+// survive at 160K-process scale: a dump that errors mid-write, a dump that
+// lands corrupted, a worker that dies, and a file system that stalls.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point names one failpoint. The set is fixed at compile time; Enable on an
+// unknown point is harmless (nothing evaluates it).
+type Point string
+
+const (
+	// CheckpointWrite makes checkpoint.Save fail before writing anything.
+	CheckpointWrite Point = "checkpoint/write-error"
+	// CheckpointCorrupt flips a byte of a checkpoint after it is written,
+	// simulating a dump that lands damaged on disk.
+	CheckpointCorrupt Point = "checkpoint/corrupt"
+	// WorkerPanic panics inside a job-service worker mid-run.
+	WorkerPanic Point = "worker/panic"
+	// SlowIO delays every atomic file write by the fault's Delay.
+	SlowIO Point = "io/slow"
+)
+
+// Fault configures an enabled failpoint.
+type Fault struct {
+	// Err is what Check returns when the point fires; nil uses a generic
+	// "faultinject: <point>" error.
+	Err error
+	// Delay is slept each time the point fires (the io/slow payload).
+	Delay time.Duration
+	// Skip lets the first Skip evaluations pass before the point starts
+	// firing (e.g. corrupt only the third checkpoint).
+	Skip int
+	// Times bounds how often the point fires; 0 means every evaluation
+	// after Skip.
+	Times int
+}
+
+type state struct {
+	Fault
+	seen  int // evaluations while enabled
+	fired int
+}
+
+var (
+	mu     sync.Mutex
+	points = map[Point]*state{}
+	hits   = map[Point]int{}
+)
+
+// Enable arms a failpoint. Re-enabling replaces the previous fault and
+// resets its Skip/Times bookkeeping (hit counts are kept; see Reset).
+func Enable(p Point, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[p] = &state{Fault: f}
+}
+
+// Disable disarms a failpoint.
+func Disable(p Point) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, p)
+}
+
+// Reset disarms every failpoint and zeroes all hit counts.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[Point]*state{}
+	hits = map[Point]int{}
+}
+
+// Hits reports how many times the point has fired since the last Reset.
+func Hits(p Point) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[p]
+}
+
+// Fire evaluates a failpoint: if armed and past its Skip budget with Times
+// remaining, it counts a hit, sleeps the configured Delay and reports true.
+// The instrumented call sites decide what "firing" means (return an error,
+// corrupt bytes, panic).
+func Fire(p Point) bool {
+	mu.Lock()
+	st, ok := points[p]
+	if !ok {
+		mu.Unlock()
+		return false
+	}
+	st.seen++
+	if st.seen <= st.Skip || (st.Times > 0 && st.fired >= st.Times) {
+		mu.Unlock()
+		return false
+	}
+	st.fired++
+	hits[p]++
+	delay := st.Delay
+	mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return true
+}
+
+// Check is Fire for error-injection sites: it returns the fault's error
+// (or a generic one) when the point fires, nil otherwise.
+func Check(p Point) error {
+	mu.Lock()
+	var injected error
+	if st, ok := points[p]; ok {
+		injected = st.Err
+	}
+	mu.Unlock()
+	if !Fire(p) {
+		return nil
+	}
+	if injected != nil {
+		return injected
+	}
+	return fmt.Errorf("faultinject: %s", p)
+}
+
+// EnableSpec arms failpoints from a compact spec string — the form quaked's
+// -faults flag accepts so crash drills can be driven from outside the
+// process: semicolon-separated entries of
+//
+//	<point>[:key=value[,key=value...]]
+//
+// with keys "times", "skip" (integers) and "delay" (a time.Duration).
+// Example: "checkpoint/corrupt:times=1;io/slow:delay=5ms".
+func EnableSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, opts, _ := strings.Cut(entry, ":")
+		var f Fault
+		for _, kv := range strings.Split(opts, ",") {
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("faultinject: bad option %q in %q", kv, entry)
+			}
+			switch k {
+			case "times":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("faultinject: bad times in %q: %w", entry, err)
+				}
+				f.Times = n
+			case "skip":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("faultinject: bad skip in %q: %w", entry, err)
+				}
+				f.Skip = n
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return fmt.Errorf("faultinject: bad delay in %q: %w", entry, err)
+				}
+				f.Delay = d
+			default:
+				return fmt.Errorf("faultinject: unknown option %q in %q", k, entry)
+			}
+		}
+		Enable(Point(name), f)
+	}
+	return nil
+}

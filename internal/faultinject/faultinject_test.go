@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledPointNeverFires(t *testing.T) {
+	Reset()
+	if Fire(WorkerPanic) {
+		t.Fatal("disarmed point fired")
+	}
+	if err := Check(CheckpointWrite); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	if Hits(WorkerPanic) != 0 {
+		t.Fatal("hit recorded without firing")
+	}
+}
+
+func TestTimesAndSkip(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(CheckpointCorrupt, Fault{Skip: 2, Times: 3})
+	var fired []bool
+	for i := 0; i < 7; i++ {
+		fired = append(fired, Fire(CheckpointCorrupt))
+	}
+	want := []bool{false, false, true, true, true, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("evaluation %d fired=%v, want %v (all: %v)", i, fired[i], want[i], fired)
+		}
+	}
+	if Hits(CheckpointCorrupt) != 3 {
+		t.Fatalf("hits %d, want 3", Hits(CheckpointCorrupt))
+	}
+}
+
+func TestCheckReturnsConfiguredError(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := errors.New("disk on fire")
+	Enable(CheckpointWrite, Fault{Err: boom, Times: 1})
+	if err := Check(CheckpointWrite); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want configured error", err)
+	}
+	if err := Check(CheckpointWrite); err != nil {
+		t.Fatalf("exhausted point returned %v", err)
+	}
+	// default error message names the point
+	Enable(SlowIO, Fault{})
+	if err := Check(SlowIO); err == nil || err.Error() != "faultinject: io/slow" {
+		t.Fatalf("default error: %v", err)
+	}
+}
+
+func TestDelayIsApplied(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(SlowIO, Fault{Delay: 20 * time.Millisecond, Times: 1})
+	start := time.Now()
+	if !Fire(SlowIO) {
+		t.Fatal("did not fire")
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+}
+
+func TestEnableSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := EnableSpec("checkpoint/corrupt:times=1,skip=2; worker/panic ;io/slow:delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// skip=2 then one firing
+	if Fire(CheckpointCorrupt) || Fire(CheckpointCorrupt) {
+		t.Fatal("skip not honored")
+	}
+	if !Fire(CheckpointCorrupt) || Fire(CheckpointCorrupt) {
+		t.Fatal("times not honored")
+	}
+	if !Fire(WorkerPanic) || !Fire(WorkerPanic) {
+		t.Fatal("unbounded point stopped firing")
+	}
+	if !Fire(SlowIO) {
+		t.Fatal("io/slow not armed")
+	}
+	for _, bad := range []string{"p:times=x", "p:delay=zz", "p:wat=1", "p:times"} {
+		if err := EnableSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentFire exercises the registry under the race detector.
+func TestConcurrentFire(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable(WorkerPanic, Fault{Times: 50})
+	var wg sync.WaitGroup
+	fired := make(chan bool, 200)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				fired <- Fire(WorkerPanic)
+			}
+		}()
+	}
+	wg.Wait()
+	close(fired)
+	n := 0
+	for f := range fired {
+		if f {
+			n++
+		}
+	}
+	if n != 50 || Hits(WorkerPanic) != 50 {
+		t.Fatalf("fired %d times (hits %d), want exactly 50", n, Hits(WorkerPanic))
+	}
+}

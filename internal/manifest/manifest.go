@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"swquake/internal/atomicio"
 	"swquake/internal/compress"
 	"swquake/internal/core"
 	"swquake/internal/grid"
@@ -82,14 +83,12 @@ func (m RunManifest) Write(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// Save writes the manifest to a file.
+// Save writes the manifest to a file atomically: archived manifests are
+// either the previous complete version or the new one, never torn.
 func (m RunManifest) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return m.Write(f)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return m.Write(w)
+	})
 }
 
 // Load reads a manifest back.

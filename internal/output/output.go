@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 
+	"swquake/internal/atomicio"
 	"swquake/internal/seismo"
 )
 
@@ -27,14 +27,12 @@ func WriteTraceCSV(w io.Writer, t *seismo.Trace) error {
 	return bw.Flush()
 }
 
-// SaveTraceCSV writes the trace to a file.
+// SaveTraceCSV writes the trace to a file atomically: a crash mid-write
+// leaves either the previous file or nothing, never a torn CSV.
 func SaveTraceCSV(path string, t *seismo.Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return WriteTraceCSV(f, t)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteTraceCSV(w, t)
+	})
 }
 
 // WritePGM writes a 2D field as an 8-bit PGM image, linearly mapping
@@ -70,14 +68,11 @@ func WritePGM(w io.Writer, field [][]float64, lo, hi float64) error {
 	return bw.Flush()
 }
 
-// SavePGM writes the field to a .pgm file.
+// SavePGM writes the field to a .pgm file atomically.
 func SavePGM(path string, field [][]float64, lo, hi float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return WritePGM(f, field, lo, hi)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WritePGM(w, field, lo, hi)
+	})
 }
 
 // PGVGrid converts a PGVField into a [][]float64 for image output.
@@ -150,12 +145,9 @@ func WriteSpectrumCSV(w io.Writer, s seismo.Spectrum) error {
 	return bw.Flush()
 }
 
-// SaveSpectrumCSV writes the spectrum to a file.
+// SaveSpectrumCSV writes the spectrum to a file atomically.
 func SaveSpectrumCSV(path string, s seismo.Spectrum) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return WriteSpectrumCSV(f, s)
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteSpectrumCSV(w, s)
+	})
 }

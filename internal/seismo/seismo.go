@@ -58,6 +58,13 @@ func (r *Recorder) Record(wf *fd.Wavefield) {
 	r.step++
 }
 
+// StepsSeen returns the number of solver steps the recorder has consumed.
+func (r *Recorder) StepsSeen() int { return r.step }
+
+// SetStepsSeen overrides the consumed-step counter — used when resuming a
+// run from a checkpoint so sampling stays phase-aligned with the original.
+func (r *Recorder) SetStepsSeen(n int) { r.step = n }
+
 // Trace returns the trace for the named station, or nil.
 func (r *Recorder) Trace(name string) *Trace {
 	for _, tr := range r.Traces {

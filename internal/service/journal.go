@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"swquake/internal/atomicio"
+	"swquake/internal/faultinject"
+	"swquake/internal/scenario"
+)
+
+// JobSpec is the replayable form of a submission: a named scenario plus
+// overrides, the process-grid layout and the per-job deadline. Unlike
+// core.Config (which holds interfaces — the velocity model, source time
+// functions), a JobSpec round-trips through JSON, so it is what the
+// durable journal records and what recovery-on-boot rebuilds a Request
+// from. Requests submitted with a Spec survive a daemon crash; requests
+// carrying only a raw Config do not (they are never journaled).
+type JobSpec struct {
+	Scenario  string             `json:"scenario"`
+	Overrides scenario.Overrides `json:"overrides,omitempty"`
+	MX        int                `json:"mx,omitempty"`
+	MY        int                `json:"my,omitempty"`
+	TimeoutS  float64            `json:"timeout_s,omitempty"`
+}
+
+// request rebuilds the full Request from the spec.
+func (sp JobSpec) request() (Request, error) {
+	cfg, err := scenario.Build(sp.Scenario, sp.Overrides)
+	if err != nil {
+		return Request{}, err
+	}
+	spec := sp
+	return Request{
+		Config:  cfg,
+		MX:      sp.MX,
+		MY:      sp.MY,
+		Timeout: time.Duration(sp.TimeoutS * float64(time.Second)),
+		Spec:    &spec,
+	}, nil
+}
+
+// journalEvent is one line of the job journal. Event is one of submitted,
+// started, progress, retrying, done, failed, canceled.
+type journalEvent struct {
+	Time    time.Time `json:"t"`
+	Event   string    `json:"event"`
+	JobID   string    `json:"job"`
+	Spec    *JobSpec  `json:"spec,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	Step    int       `json:"step,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// journal is a durable append-only JSONL write-ahead log. Every append is
+// a single line followed by fsync, so the journal survives a process kill
+// at any point with at worst one torn final line — which the reader
+// tolerates.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJournal opens (creating if needed) the journal for appending.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f}, nil
+}
+
+// append durably writes one event.
+func (jl *journal) append(ev journalEvent) error {
+	faultinject.Fire(faultinject.SlowIO)
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if _, err := jl.f.Write(line); err != nil {
+		return err
+	}
+	return jl.f.Sync()
+}
+
+func (jl *journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.f.Close()
+}
+
+// readJournal loads every event from a journal file. A missing file is an
+// empty journal. A torn final line (the crash window of append) is
+// silently dropped; a malformed line elsewhere is a real error.
+func readJournal(path string) ([]journalEvent, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []journalEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var badLine error
+	for sc.Scan() {
+		if badLine != nil {
+			return nil, badLine // malformed line was NOT the last one
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev journalEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			badLine = fmt.Errorf("service: journal %s: line %d: %w", path, len(events)+1, err)
+			continue
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: journal %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// jobRecord is the folded per-job outcome of a journal replay.
+type jobRecord struct {
+	id      string
+	spec    *JobSpec
+	state   string // last event seen
+	attempt int
+	step    int
+	errText string
+}
+
+// replayJournal folds events into per-job records, in first-seen order.
+func replayJournal(events []journalEvent) []*jobRecord {
+	byID := make(map[string]*jobRecord)
+	var order []*jobRecord
+	for _, ev := range events {
+		rec, ok := byID[ev.JobID]
+		if !ok {
+			rec = &jobRecord{id: ev.JobID}
+			byID[ev.JobID] = rec
+			order = append(order, rec)
+		}
+		rec.state = ev.Event
+		if ev.Spec != nil {
+			rec.spec = ev.Spec
+		}
+		if ev.Attempt > rec.attempt {
+			rec.attempt = ev.Attempt
+		}
+		if ev.Step > rec.step {
+			rec.step = ev.Step
+		}
+		if ev.Error != "" {
+			rec.errText = ev.Error
+		}
+	}
+	return order
+}
+
+// terminal reports whether the record's last journaled event ends the job.
+func (r *jobRecord) terminal() bool {
+	switch r.state {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// compactJournal atomically rewrites the journal to just the submitted
+// events of still-live jobs, so the file stays bounded across restarts
+// instead of accreting every event since the first boot. The recorded
+// Attempt carries each job's prior attempt count into the new epoch.
+func compactJournal(path string, live []*jobRecord, now time.Time) error {
+	var buf bytes.Buffer
+	for _, rec := range live {
+		ev := journalEvent{
+			Time: now, Event: "submitted", JobID: rec.id,
+			Spec: rec.spec, Attempt: rec.attempt, Step: rec.step,
+		}
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return atomicio.WriteFileBytes(path, buf.Bytes())
+}

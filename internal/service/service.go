@@ -18,13 +18,20 @@ import (
 	"expvar"
 	"fmt"
 	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"swquake/internal/checkpoint"
 	"swquake/internal/core"
+	"swquake/internal/faultinject"
 	"swquake/internal/manifest"
 )
 
@@ -47,6 +54,7 @@ type State string
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
+	StateRetrying State = "retrying"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
@@ -68,6 +76,10 @@ type Request struct {
 	// Timeout is the per-job deadline measured from the moment a worker
 	// starts the run; 0 uses Options.DefaultTimeout (0 = no deadline).
 	Timeout time.Duration
+	// Spec, when set, is the replayable form of this request. Spec'd jobs
+	// are journaled (and so survive a daemon crash); jobs submitted with a
+	// raw Config only are not. The Config must be the one Spec builds.
+	Spec *JobSpec
 }
 
 // Options configures a Service.
@@ -81,6 +93,26 @@ type Options struct {
 	CacheSize int
 	// DefaultTimeout applies to requests with no Timeout (0 = none).
 	DefaultTimeout time.Duration
+
+	// DataDir, when non-empty, makes the service durable: spec'd jobs are
+	// journaled to DataDir/journal.jsonl, running serial jobs are
+	// auto-checkpointed under DataDir/checkpoints/<job>/, and Open replays
+	// the journal on boot, requeueing unfinished jobs so they resume from
+	// their latest valid checkpoint.
+	DataDir string
+	// CheckpointEvery is the auto-checkpoint interval in solver steps for
+	// durable jobs (0 = 25; negative disables auto-checkpointing).
+	CheckpointEvery int
+	// CheckpointKeep bounds the retained checkpoints per job (0 = 3).
+	CheckpointKeep int
+	// MaxAttempts caps how many times a failing job is run before the
+	// failure becomes permanent. 0 means 3 when DataDir is set, else 1
+	// (no retry).
+	MaxAttempts int
+	// RetryBackoff is the base delay before a retry; the actual delay is
+	// RetryBackoff * 2^(attempt-1), capped at 32x, with ±25% jitter
+	// (0 = 100ms).
+	RetryBackoff time.Duration
 }
 
 // Status is a point-in-time snapshot of a job.
@@ -99,6 +131,16 @@ type Status struct {
 
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+
+	// Attempt counts how many times a worker has started this job (retries
+	// and crash recovery increment it).
+	Attempt int `json:"attempt,omitempty"`
+	// ResumedStep is the checkpoint step the latest attempt resumed from
+	// (0 when the job started from scratch).
+	ResumedStep int `json:"resumed_step,omitempty"`
+	// Recovered marks a job requeued from the journal after a daemon
+	// restart.
+	Recovered bool `json:"recovered,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
@@ -131,10 +173,14 @@ type job struct {
 	key string
 
 	// guarded by Service.mu
-	state    State
-	err      error
-	result   *Result
-	cacheHit bool
+	state       State
+	err         error
+	result      *Result
+	cacheHit    bool
+	attempt     int
+	resumedStep int
+	recovered   bool
+	parked      bool // canceled by Drain's deadline, not by a user: stays recoverable
 
 	submitted time.Time
 	started   time.Time
@@ -158,11 +204,13 @@ type Service struct {
 	cache *resultCache
 	vars  *expvar.Map
 	wg    sync.WaitGroup
+	wal   *journal // nil without DataDir
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int
-	closed bool
+	mu          sync.Mutex
+	jobs        map[string]*job
+	retryTimers map[string]*time.Timer
+	nextID      int
+	closed      bool
 }
 
 // counterNames lists every metric the service maintains, so /metrics shows
@@ -170,11 +218,28 @@ type Service struct {
 var counterNames = []string{
 	"jobs_submitted", "jobs_queued", "jobs_running",
 	"jobs_done", "jobs_failed", "jobs_canceled",
+	"jobs_retried", "jobs_recovered", "worker_panics",
+	"journal_events", "checkpoints_saved",
 	"cache_hits", "cache_misses", "steps_done",
 }
 
-// New builds a Service and starts its worker pool.
+// New builds a Service and starts its worker pool. It panics when Open
+// fails, which cannot happen without Options.DataDir — durable callers
+// should use Open directly and handle the error.
 func New(opts Options) *Service {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Service and starts its worker pool. With Options.DataDir
+// set it first recovers: the journal is replayed, jobs that never reached
+// a terminal state are requeued (resuming from their latest valid
+// checkpoint once a worker picks them up), and the journal is compacted so
+// it stays bounded across restarts.
+func Open(opts Options) (*Service, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -184,21 +249,154 @@ func New(opts Options) *Service {
 	if opts.CacheSize == 0 {
 		opts.CacheSize = 64
 	}
+	if opts.MaxAttempts <= 0 {
+		if opts.DataDir != "" {
+			opts.MaxAttempts = 3
+		} else {
+			opts.MaxAttempts = 1
+		}
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 100 * time.Millisecond
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 25
+	}
+	if opts.CheckpointKeep <= 0 {
+		opts.CheckpointKeep = 3
+	}
+
+	// replay the journal before sizing the queue: every recovered job must
+	// fit even when there are more of them than QueueSize
+	var live []*jobRecord
+	var maxID int
+	if opts.DataDir != "" {
+		if err := os.MkdirAll(filepath.Join(opts.DataDir, "checkpoints"), 0o755); err != nil {
+			return nil, err
+		}
+		events, err := readJournal(journalPath(opts.DataDir))
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range replayJournal(events) {
+			if n := jobSeq(rec.id); n > maxID {
+				maxID = n
+			}
+			if !rec.terminal() && rec.spec != nil {
+				live = append(live, rec)
+			}
+		}
+		if err := compactJournal(journalPath(opts.DataDir), live, time.Now()); err != nil {
+			return nil, err
+		}
+	}
+
+	queueSize := opts.QueueSize
+	if len(live) > queueSize {
+		queueSize = len(live)
+	}
 	s := &Service{
-		opts:  opts,
-		queue: make(chan *job, opts.QueueSize),
-		cache: newResultCache(opts.CacheSize),
-		vars:  new(expvar.Map).Init(),
-		jobs:  make(map[string]*job),
+		opts:        opts,
+		queue:       make(chan *job, queueSize),
+		cache:       newResultCache(opts.CacheSize),
+		vars:        new(expvar.Map).Init(),
+		jobs:        make(map[string]*job),
+		retryTimers: make(map[string]*time.Timer),
+		nextID:      maxID,
 	}
 	for _, name := range counterNames {
 		s.vars.Add(name, 0)
 	}
+
+	if opts.DataDir != "" {
+		wal, err := openJournal(journalPath(opts.DataDir))
+		if err != nil {
+			return nil, err
+		}
+		s.wal = wal
+		for _, rec := range live {
+			if err := s.requeueRecovered(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+func journalPath(dataDir string) string {
+	return filepath.Join(dataDir, "journal.jsonl")
+}
+
+// ckptDir is the per-job checkpoint directory under DataDir.
+func (s *Service) ckptDir(jobID string) string {
+	return filepath.Join(s.opts.DataDir, "checkpoints", jobID)
+}
+
+// jobSeq extracts the sequence number from a "job-%06d" ID (0 if malformed).
+func jobSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
+}
+
+// requeueRecovered turns a journal record back into a queued job under the
+// job's original ID. A spec that no longer builds (e.g. a scenario removed
+// between boots) parks the job as permanently failed instead of erroring
+// the whole boot.
+func (s *Service) requeueRecovered(rec *jobRecord) error {
+	j := &job{
+		id:        rec.id,
+		submitted: time.Now(),
+		attempt:   rec.attempt,
+		recovered: true,
+		done:      make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+
+	req, err := rec.spec.request()
+	if err != nil {
+		j.state = StateFailed
+		j.err = fmt.Errorf("service: recovered job %s no longer builds: %w", rec.id, err)
+		j.finished = time.Now()
+		close(j.done)
+		s.jobs[j.id] = j
+		s.vars.Add("jobs_failed", 1)
+		s.logEvent(journalEvent{Event: "failed", JobID: j.id, Error: j.err.Error()})
+		return nil
+	}
+	ckey, err := ConfigKey(req.Config)
+	if err != nil {
+		return err
+	}
+	j.req = req
+	j.key = fmt.Sprintf("%s/%dx%d", ckey, req.MX, req.MY)
+	j.stepsTotal = req.Config.Steps
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		return fmt.Errorf("service: recovery queue full requeueing %s", rec.id)
+	}
+	s.jobs[j.id] = j
+	s.vars.Add("jobs_submitted", 1)
+	s.vars.Add("jobs_queued", 1)
+	s.vars.Add("jobs_recovered", 1)
+	return nil
+}
+
+// logEvent appends to the journal when the service is durable.
+func (s *Service) logEvent(ev journalEvent) {
+	if s.wal == nil {
+		return
+	}
+	ev.Time = time.Now()
+	if err := s.wal.append(ev); err == nil {
+		s.vars.Add("journal_events", 1)
+	}
 }
 
 // Workers reports the worker-pool size.
@@ -268,6 +466,11 @@ func (s *Service) Submit(req Request) (string, error) {
 		s.vars.Add("jobs_submitted", 1)
 		s.vars.Add("cache_misses", 1)
 		s.vars.Add("jobs_queued", 1)
+		if req.Spec != nil {
+			// write-ahead: the submission is on disk before Submit returns,
+			// so a crash between accept and completion cannot lose the job
+			s.logEvent(journalEvent{Event: "submitted", JobID: j.id, Spec: req.Spec})
+		}
 		return j.id, nil
 	default:
 		j.cancel()
@@ -284,7 +487,8 @@ func (s *Service) worker() {
 }
 
 // runJob executes one job end to end: state transitions, the deadline
-// context, the progress observer, the engine run, result/cache bookkeeping.
+// context, the progress observer, auto-checkpointing, the engine run
+// (panic-isolated), and result/retry bookkeeping.
 func (s *Service) runJob(j *job) {
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while waiting in the queue
@@ -293,7 +497,10 @@ func (s *Service) runJob(j *job) {
 		return
 	}
 	j.state = StateRunning
+	j.attempt++
 	j.started = time.Now()
+	j.resumedStep = 0
+	attempt := j.attempt
 	s.mu.Unlock()
 	s.vars.Add("jobs_queued", -1)
 	s.vars.Add("jobs_running", 1)
@@ -310,22 +517,72 @@ func (s *Service) runJob(j *job) {
 	}
 
 	cfg := j.req.Config
+	serial := j.req.MX <= 1 && j.req.MY <= 1
+
+	// durable serial jobs auto-checkpoint into their own directory and, on
+	// a retry or post-crash requeue, resume from the newest dump that
+	// passes the integrity checks (a corrupted latest falls back to the
+	// one before it)
+	var ctl *checkpoint.Controller
+	if s.wal != nil && j.req.Spec != nil && serial && s.opts.CheckpointEvery > 0 {
+		dir := s.ckptDir(j.id)
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			ctl = &checkpoint.Controller{
+				Dir: dir, Interval: s.opts.CheckpointEvery, Keep: s.opts.CheckpointKeep,
+			}
+			cfg.Checkpoint = ctl
+			if path, err := checkpoint.LatestValid(dir); err == nil {
+				cfg.RestartFrom = path
+				step := checkpointStep(path)
+				s.mu.Lock()
+				j.resumedStep = step
+				s.mu.Unlock()
+				j.stepsDone.Store(int64(step))
+			}
+		}
+	}
+
+	if j.req.Spec != nil {
+		s.logEvent(journalEvent{Event: "started", JobID: j.id, Attempt: attempt})
+	}
+
 	cfg.Observer = func(ev core.StepEvent) {
 		j.stepsDone.Store(int64(ev.Step))
 		j.simTime.Store(math.Float64bits(ev.SimTime))
 		j.wall.Store(int64(ev.Wall))
 		s.vars.Add("steps_done", 1)
+		if ctl != nil && ctl.Due(ev.Step) {
+			s.logEvent(journalEvent{Event: "progress", JobID: j.id, Attempt: attempt, Step: ev.Step})
+		}
 	}
 
 	var res *core.Result
 	var err error
-	if j.req.MX > 1 || j.req.MY > 1 {
-		res, err = core.RunParallelCtx(ctx, cfg, j.req.MX, j.req.MY)
-	} else {
-		var sim *core.Simulator
-		if sim, err = core.New(cfg); err == nil {
-			res, err = sim.RunCtx(ctx)
+	func() {
+		// a panicking worker must fail its job, not the daemon: the stack
+		// unwinds here, the outcome switch below records the failure, and
+		// the retry policy gets a shot at running the job again
+		defer func() {
+			if r := recover(); r != nil {
+				res = nil
+				err = fmt.Errorf("service: job %s panicked: %v", j.id, r)
+				s.vars.Add("worker_panics", 1)
+			}
+		}()
+		if faultinject.Fire(faultinject.WorkerPanic) {
+			panic("injected worker panic")
 		}
+		if !serial {
+			res, err = core.RunParallelCtx(ctx, cfg, j.req.MX, j.req.MY)
+		} else {
+			var sim *core.Simulator
+			if sim, err = core.New(cfg); err == nil {
+				res, err = sim.RunCtx(ctx)
+			}
+		}
+	}()
+	if res != nil && len(res.Checkpoints) > 0 {
+		s.vars.Add("checkpoints_saved", int64(len(res.Checkpoints)))
 	}
 
 	s.vars.Add("jobs_running", -1)
@@ -334,20 +591,123 @@ func (s *Service) runJob(j *job) {
 	switch {
 	case err == nil:
 		j.result = buildResult(cfg, res)
+		j.err = nil
 		j.state = StateDone
 		s.cache.add(j.key, j.result)
 		s.vars.Add("jobs_done", 1)
+		s.mu.Unlock()
+		if j.req.Spec != nil {
+			s.logEvent(journalEvent{Event: "done", JobID: j.id, Attempt: attempt})
+		}
+		s.removeCheckpoints(ctl)
 	case errors.Is(err, context.Canceled):
 		j.err = err
 		j.state = StateCanceled
+		parked := j.parked && j.req.Spec != nil
 		s.vars.Add("jobs_canceled", 1)
-	default: // includes deadline-exceeded runs
+		s.mu.Unlock()
+		// a job stopped by Drain's deadline (rather than a user) keeps its
+		// checkpoints and its journal stays non-terminal, so the next boot
+		// resumes it — a graceful shutdown must never lose work a SIGKILL
+		// would have preserved
+		if !parked {
+			if j.req.Spec != nil {
+				s.logEvent(journalEvent{Event: "canceled", JobID: j.id, Attempt: attempt})
+			}
+			s.removeCheckpoints(ctl)
+		}
+	case attempt < s.opts.MaxAttempts && !s.closed:
+		// transient failure: back off and requeue; checkpoints stay so the
+		// retry resumes rather than recomputes
+		j.err = err
+		j.state = StateRetrying
+		delay := retryDelay(s.opts.RetryBackoff, attempt)
+		s.retryTimers[j.id] = time.AfterFunc(delay, func() { s.requeueRetry(j) })
+		s.vars.Add("jobs_retried", 1)
+		s.mu.Unlock()
+		if j.req.Spec != nil {
+			s.logEvent(journalEvent{Event: "retrying", JobID: j.id, Attempt: attempt, Error: err.Error()})
+		}
+		return // job is not terminal: j.done stays open
+	default: // includes deadline-exceeded runs and exhausted retries
 		j.err = err
 		j.state = StateFailed
 		s.vars.Add("jobs_failed", 1)
+		s.mu.Unlock()
+		if j.req.Spec != nil {
+			s.logEvent(journalEvent{Event: "failed", JobID: j.id, Attempt: attempt, Error: err.Error()})
+		}
 	}
-	s.mu.Unlock()
 	close(j.done)
+}
+
+// removeCheckpoints clears a finished job's checkpoint directory — the
+// dumps only exist to resume an unfinished job.
+func (s *Service) removeCheckpoints(ctl *checkpoint.Controller) {
+	if ctl != nil {
+		os.RemoveAll(ctl.Dir)
+	}
+}
+
+// checkpointStep parses the step from a "ckpt-%08d.swq" path.
+func checkpointStep(path string) int {
+	name := strings.TrimSuffix(filepath.Base(path), ".swq")
+	n, _ := strconv.Atoi(strings.TrimPrefix(name, "ckpt-"))
+	return n
+}
+
+// retryDelay is the capped exponential backoff with ±25% jitter.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < 32*base; i++ {
+		d *= 2
+	}
+	if d > 32*base {
+		d = 32 * base
+	}
+	return d/2 + d/4 + time.Duration(rand.Int63n(int64(d/2)+1)) // d * [0.75, 1.25]
+}
+
+// requeueRetry moves a retrying job back onto the queue when its backoff
+// timer fires. If the service has started draining in the meantime, the
+// job fails permanently instead.
+func (s *Service) requeueRetry(j *job) {
+	s.mu.Lock()
+	delete(s.retryTimers, j.id)
+	if j.state != StateRetrying { // canceled (or failed by Drain) while waiting
+		s.mu.Unlock()
+		return
+	}
+	if s.closed {
+		s.failRetryingLocked(j, errors.New("service: draining during retry backoff"), false)
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+		s.vars.Add("jobs_queued", 1)
+		s.mu.Unlock()
+	default:
+		s.failRetryingLocked(j, ErrQueueFull, true)
+		s.mu.Unlock()
+	}
+}
+
+// failRetryingLocked permanently fails a job parked in StateRetrying.
+// Caller holds s.mu. With journal=false the failure is NOT journaled, so
+// the job's last durable event stays non-terminal and the next boot
+// recovers it — the right outcome when the failure is the shutdown itself
+// rather than the job.
+func (s *Service) failRetryingLocked(j *job, cause error, journal bool) {
+	j.state = StateFailed
+	j.err = fmt.Errorf("%w (after %v)", cause, j.err)
+	j.finished = time.Now()
+	s.vars.Add("jobs_failed", 1)
+	close(j.done)
+	if journal && j.req.Spec != nil {
+		s.logEvent(journalEvent{Event: "failed", JobID: j.id, Attempt: j.attempt, Error: j.err.Error()})
+	}
 }
 
 // buildResult shapes a core result as the API payload.
@@ -371,13 +731,16 @@ func (s *Service) Status(id string) (Status, error) {
 		return Status{}, ErrUnknownJob
 	}
 	st := Status{
-		ID:         j.id,
-		State:      j.state,
-		StepsTotal: j.stepsTotal,
-		CacheHit:   j.cacheHit,
-		Submitted:  j.submitted,
-		Started:    j.started,
-		Finished:   j.finished,
+		ID:          j.id,
+		State:       j.state,
+		StepsTotal:  j.stepsTotal,
+		CacheHit:    j.cacheHit,
+		Attempt:     j.attempt,
+		ResumedStep: j.resumedStep,
+		Recovered:   j.recovered,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -429,14 +792,22 @@ func (s *Service) Cancel(id string) bool {
 		s.mu.Unlock()
 		return false
 	}
-	if j.state == StateQueued {
+	if j.state == StateQueued || j.state == StateRetrying {
+		if t, ok := s.retryTimers[id]; ok {
+			t.Stop()
+			delete(s.retryTimers, id)
+		}
 		j.state = StateCanceled
 		j.err = context.Canceled
 		j.finished = time.Now()
+		attempt := j.attempt
 		close(j.done)
 		s.mu.Unlock()
 		j.cancel()
 		s.vars.Add("jobs_canceled", 1)
+		if j.req.Spec != nil {
+			s.logEvent(journalEvent{Event: "canceled", JobID: j.id, Attempt: attempt})
+		}
 		return true
 	}
 	s.mu.Unlock()
@@ -483,11 +854,25 @@ func (s *Service) Jobs() []Status {
 // and running job, and returns when the pool is idle. If the context ends
 // first, all remaining jobs are canceled (stopping within one step) and
 // Drain still waits for the workers to unwind before returning ctx's error.
+// Durable jobs stopped this way are parked, not terminated: their journal
+// entries stay non-terminal and their checkpoints stay on disk, so the
+// next boot on the same data directory resumes them.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+	}
+	// jobs parked in retry backoff will never run again in this process:
+	// stop their timers and fail them here, without journaling the failure
+	// — their last durable event stays non-terminal, so a durable service's
+	// next boot recovers them
+	for id, t := range s.retryTimers {
+		t.Stop()
+		delete(s.retryTimers, id)
+		if j := s.jobs[id]; j != nil && j.state == StateRetrying {
+			s.failRetryingLocked(j, errors.New("service: draining during retry backoff"), false)
+		}
 	}
 	s.mu.Unlock()
 
@@ -502,6 +887,9 @@ func (s *Service) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.jobs {
+			if !j.state.Terminal() {
+				j.parked = true // shutdown, not a user decision: recover next boot
+			}
 			j.cancel()
 		}
 		s.mu.Unlock()
@@ -514,6 +902,10 @@ func (s *Service) Drain(ctx context.Context) error {
 type Metrics struct {
 	Submitted, Queued, Running      int64
 	Done, Failed, Canceled          int64
+	Retried, Recovered              int64
+	WorkerPanics                    int64
+	JournalEvents                   int64
+	CheckpointsSaved                int64
 	CacheHits, CacheMisses          int64
 	StepsDone                       int64
 	CacheEntries, Workers, QueueCap int
@@ -528,18 +920,23 @@ func (s *Service) Metrics() Metrics {
 		return 0
 	}
 	return Metrics{
-		Submitted:    get("jobs_submitted"),
-		Queued:       get("jobs_queued"),
-		Running:      get("jobs_running"),
-		Done:         get("jobs_done"),
-		Failed:       get("jobs_failed"),
-		Canceled:     get("jobs_canceled"),
-		CacheHits:    get("cache_hits"),
-		CacheMisses:  get("cache_misses"),
-		StepsDone:    get("steps_done"),
-		CacheEntries: s.cache.len(),
-		Workers:      s.opts.Workers,
-		QueueCap:     s.opts.QueueSize,
+		Submitted:        get("jobs_submitted"),
+		Queued:           get("jobs_queued"),
+		Running:          get("jobs_running"),
+		Done:             get("jobs_done"),
+		Failed:           get("jobs_failed"),
+		Canceled:         get("jobs_canceled"),
+		Retried:          get("jobs_retried"),
+		Recovered:        get("jobs_recovered"),
+		WorkerPanics:     get("worker_panics"),
+		JournalEvents:    get("journal_events"),
+		CheckpointsSaved: get("checkpoints_saved"),
+		CacheHits:        get("cache_hits"),
+		CacheMisses:      get("cache_misses"),
+		StepsDone:        get("steps_done"),
+		CacheEntries:     s.cache.len(),
+		Workers:          s.opts.Workers,
+		QueueCap:         s.opts.QueueSize,
 	}
 }
 
