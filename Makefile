@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench repro fuzz clean serve-smoke crash-test
+.PHONY: all build check vet test race bench bench-json profile repro fuzz clean serve-smoke crash-test
 
 all: build check test
 
@@ -8,11 +8,11 @@ build:
 	$(GO) build ./...
 
 # static analysis plus the race-sensitive engine packages (the simulated-MPI
-# world, the step-pipeline drivers, the job service worker pool, and the
-# durability layers) under the race detector
+# world, the step-pipeline drivers, the job service worker pool, the
+# durability layers, and the telemetry collectors) under the race detector
 check: vet
 	$(GO) test -race ./internal/core/... ./internal/mpi/... ./internal/service/... \
-		./internal/checkpoint/ ./internal/faultinject/
+		./internal/checkpoint/ ./internal/faultinject/ ./internal/telemetry/
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# machine-readable serial solver benchmark: throughput, flop rate and the
+# per-stage kernel breakdown, with build identity for cross-revision tracking
+bench-json:
+	$(GO) run ./cmd/bench -core-json BENCH_core.json
+
+# CPU-profile the serial benchmark and print the top-10 hot functions
+profile:
+	$(GO) test -run=^$$ -bench BenchmarkStepTimingOverhead/instrumented \
+		-benchtime 100x -cpuprofile cpu.prof ./internal/core/
+	$(GO) tool pprof -top cpu.prof | head -16
 
 # regenerate every table and figure of the paper
 repro:
@@ -53,7 +64,8 @@ serve-smoke:
 	$(GO) run ./cmd/quaked -selftest
 
 clean:
-	rm -f *.pgm *.swvm *.swq test_output.txt bench_output.txt
+	rm -f *.pgm *.swvm *.swq test_output.txt bench_output.txt \
+		BENCH_core.json cpu.prof core.test
 
 # run the paper-size (160x160x512) core-group executor cross-check (~60 s)
 test-paper:

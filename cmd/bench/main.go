@@ -9,19 +9,26 @@
 //	bench -table 3
 //	bench -fig 8
 //	bench -fig 11 -full
+//	bench -core-json BENCH_core.json   # machine-readable serial benchmark
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
+	"swquake/internal/core"
 	"swquake/internal/experiments"
 	"swquake/internal/grid"
+	"swquake/internal/scenario"
+	"swquake/internal/telemetry"
 )
 
 func main() {
@@ -40,9 +47,16 @@ func run(args []string, w io.Writer) error {
 		full      = fs.Bool("full", false, "use the larger run-based configurations")
 		ablations = fs.Bool("ablations", false, "run the design-choice ablations")
 		outDir    = fs.String("out", "", "also write figure data series as CSV files")
+
+		coreJSON     = fs.String("core-json", "", "run the serial core benchmark and write a machine-readable JSON report to FILE")
+		coreScenario = fs.String("core-scenario", "quickstart", "scenario for -core-json")
+		coreSteps    = fs.Int("core-steps", 0, "step count for -core-json (0 = scenario default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coreJSON != "" {
+		return runCoreBench(w, *coreJSON, *coreScenario, *coreSteps)
 	}
 	size := experiments.Quick
 	if *full {
@@ -155,6 +169,68 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// coreBenchReport is the machine-readable shape of one serial benchmark
+// run — what CI archives as BENCH_core.json to track host-solver throughput
+// and its per-stage composition across revisions.
+type coreBenchReport struct {
+	Scenario     string                 `json:"scenario"`
+	Dims         grid.Dims              `json:"dims"`
+	Steps        int                    `json:"steps"`
+	ElapsedS     float64                `json:"elapsed_s"`
+	Gflops       float64                `json:"gflops"`
+	PointsPerSec float64                `json:"points_per_sec"`
+	Stages       []telemetry.StageStats `json:"stages"`
+	GOMAXPROCS   int                    `json:"gomaxprocs"`
+	Build        telemetry.BuildInfo    `json:"build"`
+}
+
+// runCoreBench runs the named scenario serially and writes the JSON report.
+func runCoreBench(w io.Writer, path, scen string, steps int) error {
+	cfg, err := scenario.Build(scen, scenario.Overrides{Steps: steps})
+	if err != nil {
+		return err
+	}
+	sim, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "core benchmark: %s, %v grid, %d steps...\n", scen, cfg.Dims, cfg.Steps)
+	start := time.Now()
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	rep := coreBenchReport{
+		Scenario:     scen,
+		Dims:         cfg.Dims,
+		Steps:        res.Steps,
+		ElapsedS:     time.Since(start).Seconds(),
+		Gflops:       res.Perf.Gflops(),
+		PointsPerSec: res.Perf.PointsPerSecond(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Build:        telemetry.ReadBuildInfo(),
+	}
+	if res.Stages != nil {
+		rep.Stages = res.Stages.Report().Stages
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "core benchmark: %.2f Gflops, %.3g points/s -> %s\n",
+		rep.Gflops, rep.PointsPerSec, path)
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"swquake/internal/scenario"
 	"swquake/internal/service"
+	"swquake/internal/telemetry"
 )
 
 // server is the HTTP face of the job service. It is an http.Handler so the
@@ -17,10 +18,16 @@ type server struct {
 	svc   *service.Service
 	mux   *http.ServeMux
 	start time.Time
+	prom  *telemetry.PromRegistry
+	build telemetry.BuildInfo
 }
 
 func newServer(svc *service.Service) *server {
-	s := &server{svc: svc, mux: http.NewServeMux(), start: time.Now()}
+	s := &server{svc: svc, mux: http.NewServeMux(), start: time.Now(),
+		prom: telemetry.NewPromRegistry(), build: telemetry.ReadBuildInfo()}
+	s.prom.GaugeFunc("swquake_uptime_seconds", "Seconds since the daemon booted.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	svc.RegisterProm(s.prom)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -136,15 +143,28 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleHealthz reports liveness plus the daemon's build identity (Go
+// version, module version, VCS revision) and pool shape — enough for an
+// operator to tell WHAT is healthy, not just that something answered.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_s":       time.Since(s.start).Seconds(),
+		"build":          s.build,
+		"workers":        s.svc.Workers(),
+		"queue_capacity": s.svc.QueueSize(),
+	})
 }
 
-// handleMetrics serves the service's expvar counters as JSON, alongside
-// process uptime — the counters quaked's acceptance test cross-checks
-// against observed job outcomes.
+// handleMetrics serves the service's expvar counters as JSON (the default,
+// which the acceptance tests cross-check against observed job outcomes), or
+// the Prometheus text exposition when ?format=prometheus is given.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.prom.Write(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintf(w, "{\"uptime_s\":%.3f,\"service\":%s}\n",
 		time.Since(s.start).Seconds(), s.svc.Vars().String())

@@ -43,7 +43,7 @@ type daemon struct {
 	waited   chan error
 }
 
-var listenRE = regexp.MustCompile(`quaked listening on (\S+) `)
+var listenRE = regexp.MustCompile(`msg="quaked listening" addr=(\S+)`)
 
 // startDaemon boots a quaked child with the given flags (plus -addr on a
 // random port) and waits until it is serving.

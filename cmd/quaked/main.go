@@ -13,9 +13,19 @@
 //	GET    /v1/jobs/{id}        status: state, steps done/total, ETA
 //	GET    /v1/jobs/{id}/result RunManifest-shaped summary + station traces
 //	DELETE /v1/jobs/{id}        cancel (stops a running job within a step)
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness + build info (go version, VCS
+//	                            revision), uptime, pool shape
 //	GET    /metrics             expvar counters: queued/running/done/failed,
 //	                            cache hits, aggregate step throughput
+//	GET    /metrics?format=prometheus
+//	                            the same data in Prometheus text exposition
+//	                            (swquake_* families: counters, queue gauges,
+//	                            job-latency histogram, per-stage seconds)
+//
+// Observability flags: -log-level/-log-format select structured stderr
+// logging (slog text or JSON); -trace DIR records a Chrome trace-event
+// file viewable in Perfetto (ui.perfetto.dev) with one track per job;
+// -debug-addr serves net/http/pprof on a separate listener.
 //
 // Example:
 //
@@ -43,16 +53,18 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -debug-addr mux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"swquake/internal/faultinject"
 	"swquake/internal/service"
+	"swquake/internal/telemetry"
 )
 
 func main() {
@@ -79,15 +91,43 @@ func run(args []string) error {
 		maxAttempt = fs.Int("max-attempts", 0, "attempts per job before failure is permanent (0 = 3 with -data, else 1)")
 		retryWait  = fs.Duration("retry-backoff", 0, "base retry backoff, doubled per attempt up to 32x (0 = 100ms)")
 		faults     = fs.String("faults", "", "fault-injection spec, e.g. 'checkpoint/corrupt:times=1;io/slow:delay=5ms' (testing only)")
+
+		traceDir  = fs.String("trace", "", "write a Chrome trace-event file (DIR/quaked-trace.jsonl, open in Perfetto) covering job lifecycles and engine steps")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this extra address (off by default)")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if *faults != "" {
 		if err := faultinject.EnableSpec(*faults); err != nil {
 			return err
 		}
-		log.Printf("quaked: fault injection armed: %s", *faults)
+		logger.Warn("fault injection armed", "spec", *faults)
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*traceDir, "quaked-trace.jsonl")
+		tracer, err = telemetry.OpenTrace(path)
+		if err != nil {
+			return err
+		}
+		tracer.NameProcess(0, "quaked")
+		logger.Info("tracing to file", "path", path)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				logger.Error("trace close", "error", err)
+			}
+		}()
 	}
 
 	opts := service.Options{
@@ -100,9 +140,23 @@ func run(args []string) error {
 		CheckpointKeep:  *ckptKeep,
 		MaxAttempts:     *maxAttempt,
 		RetryBackoff:    *retryWait,
+		Logger:          logger,
+		Tracer:          tracer,
 	}
 	if *selftest {
 		return runSelftest(opts)
+	}
+
+	if *debugAddr != "" {
+		// pprof and expvar register themselves on http.DefaultServeMux at
+		// import time; serving nil here exposes exactly those, on a separate
+		// listener so profiling never rides the public API address
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		logger.Info("debug server listening", "addr", dln.Addr().String())
+		go http.Serve(dln, nil)
 	}
 
 	svc, err := service.Open(opts)
@@ -111,16 +165,15 @@ func run(args []string) error {
 	}
 	if *dataDir != "" {
 		m := svc.Metrics()
-		log.Printf("quaked: durable mode, data dir %s (%d jobs recovered from journal)",
-			*dataDir, m.Recovered)
+		logger.Info("durable mode", "data_dir", *dataDir, "jobs_recovered", m.Recovered)
 	}
 	expvar.Publish("quaked", svc.Vars())
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("quaked listening on %s (%d workers, queue %d)",
-		ln.Addr(), svc.Workers(), svc.QueueSize())
+	logger.Info("quaked listening", "addr", ln.Addr().String(),
+		"workers", svc.Workers(), "queue", svc.QueueSize())
 
 	srv := &http.Server{Handler: newServer(svc)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -133,16 +186,16 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 		stop()
-		log.Printf("quaked: shutting down, draining jobs (up to %s)...", *drainTimeout)
+		logger.Info("shutting down, draining jobs", "drain_timeout", drainTimeout.String())
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
-			log.Printf("quaked: http shutdown: %v", err)
+			logger.Error("http shutdown", "error", err)
 		}
 		if err := svc.Drain(dctx); err != nil {
-			log.Printf("quaked: drain incomplete, jobs canceled: %v", err)
+			logger.Warn("drain incomplete, jobs canceled", "error", err)
 		}
-		log.Printf("quaked: bye")
+		logger.Info("bye")
 		return nil
 	}
 }

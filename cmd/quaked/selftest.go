@@ -6,12 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"time"
 
 	"swquake/internal/service"
+	"swquake/internal/telemetry"
 )
 
 // runSelftest is the `make serve-smoke` body: boot the daemon on a random
@@ -19,6 +19,10 @@ import (
 // poll → result), verify a resubmission is served from the cache, and exit
 // nonzero on any failure.
 func runSelftest(opts service.Options) error {
+	logger := opts.Logger
+	if logger == nil {
+		logger = telemetry.Discard()
+	}
 	svc := service.New(opts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -28,7 +32,7 @@ func runSelftest(opts service.Options) error {
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
-	log.Printf("quaked selftest on %s", base)
+	logger.Info("quaked selftest", "addr", base)
 
 	if err := selftestFlow(base); err != nil {
 		return fmt.Errorf("selftest: %w", err)
@@ -38,7 +42,7 @@ func runSelftest(opts service.Options) error {
 	if err := svc.Drain(dctx); err != nil {
 		return fmt.Errorf("selftest: drain: %w", err)
 	}
-	log.Printf("quaked selftest ok")
+	logger.Info("quaked selftest ok")
 	return nil
 }
 

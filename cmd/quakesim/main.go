@@ -66,6 +66,7 @@ func run(args []string, w io.Writer) error {
 		snapshots = fs.Int("snapshots", 0, "write a surface-velocity PGM every N steps (serial runs, needs -out)")
 		sunwaySim = fs.Bool("sunway", false, "execute through the simulated SW26010 core group and report its timing")
 		progress  = fs.Bool("progress", false, "print step progress and ETA during the run")
+		timing    = fs.Bool("timing", false, "print the per-stage kernel timing breakdown after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,6 +168,9 @@ func run(args []string, w io.Writer) error {
 			1e3*res.Sunway.StepSeconds()/float64(res.Steps), res.Sunway.EffectiveBandwidth(),
 			res.Sunway.LDMPeakBytes)
 	}
+	if *timing {
+		printTiming(w, res, elapsed.Seconds())
+	}
 	report(w, res)
 
 	if *outDir != "" {
@@ -207,6 +211,32 @@ func progressObserver(w io.Writer, total int) core.StepObserver {
 		fmt.Fprintf(w, "step %d/%d  t=%.3f s  wall=%.2f s  eta=%.2f s\n",
 			ev.Step, ev.Total, ev.SimTime, ev.Wall.Seconds(), eta.Seconds())
 	}
+}
+
+// printTiming renders the per-stage kernel breakdown (the paper's Fig. 7
+// accounting, measured on the host): time per stage, its share of the run,
+// and how much of the wall clock the stages account for in total. Parallel
+// runs sum stage time over ranks, so the percentage column is of summed
+// stage time there, not of wall time.
+func printTiming(w io.Writer, res *core.Result, wallS float64) {
+	if res.Stages == nil {
+		fmt.Fprintln(w, "per-stage timing disabled for this run")
+		return
+	}
+	rep := res.Stages.Report()
+	total := rep.TotalSeconds()
+	if total <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s %10s %12s %12s %12s %7s\n",
+		"stage", "count", "total (s)", "avg (ms)", "max (ms)", "share")
+	for _, st := range rep.Stages {
+		fmt.Fprintf(w, "%-14s %10d %12.4f %12.4f %12.4f %6.1f%%\n",
+			st.Name, st.Count, st.Seconds, 1e3*st.AvgSeconds(), 1e3*st.MaxS,
+			100*st.Seconds/total)
+	}
+	fmt.Fprintf(w, "stages total %.4f s over %.4f s wall (%.1f%% accounted)\n",
+		total, wallS, 100*total/wallS)
 }
 
 func parseMethod(s string) (compress.Method, error) {

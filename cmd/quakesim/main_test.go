@@ -131,3 +131,16 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("missing model accepted")
 	}
 }
+
+func TestRunTimingFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "quickstart", "-steps", "30", "-timing"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stage", "velocity", "stress", "accounted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timing table missing %q:\n%s", want, out)
+		}
+	}
+}

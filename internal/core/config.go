@@ -24,6 +24,7 @@ import (
 	"swquake/internal/model"
 	"swquake/internal/seismo"
 	"swquake/internal/source"
+	"swquake/internal/telemetry"
 )
 
 // StepEvent describes one completed step of the pipeline, as reported to a
@@ -142,6 +143,21 @@ type Config struct {
 	// only under RunParallel) — the one progress mechanism shared by the
 	// CLI, the job service and any other driver of the engine.
 	Observer StepObserver
+
+	// Tracer, when non-nil, receives one span per completed step (rank 0
+	// only under RunParallel) in Chrome trace-event form — what quaked's
+	// -trace flag plumbs down so a job's steps appear on its track in
+	// Perfetto. TraceTID selects the track (the job service uses the job's
+	// sequence number).
+	Tracer   *telemetry.Tracer
+	TraceTID int
+
+	// NoStageTiming disables the per-stage wall-time collectors. Timing is
+	// on by default — its cost is one time.Now per stage boundary, <2% of a
+	// step (see BenchmarkStepTimingOverhead) — and this switch exists to
+	// measure exactly that overhead and for callers that want the engine
+	// maximally bare.
+	NoStageTiming bool
 }
 
 // Validate checks the configuration and fills defaults in place.

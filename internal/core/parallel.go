@@ -13,6 +13,7 @@ import (
 	"swquake/internal/mpi"
 	"swquake/internal/seismo"
 	"swquake/internal/source"
+	"swquake/internal/telemetry"
 )
 
 // RunParallel executes the configured simulation over an mx x my process
@@ -86,6 +87,12 @@ func RunParallelCtx(ctx context.Context, cfg Config, mx, my int) (*Result, error
 		}
 		res.YieldedPointSteps += o.yielded
 		res.Perf.AddCounters(o.perf)
+		if o.stages != nil {
+			if res.Stages == nil {
+				res.Stages = telemetry.NewStageClock()
+			}
+			res.Stages.Merge(o.stages)
+		}
 		if o.sunway != nil {
 			if res.Sunway == nil {
 				res.Sunway = &cgexec.Stats{}
@@ -111,6 +118,7 @@ type rankOut struct {
 	dt          float64
 	steps       int
 	perf        Perf
+	stages      *telemetry.StageClock
 	sunway      *cgexec.Stats
 	checkpoints []checkpoint.Info
 	err         error
@@ -126,9 +134,10 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 
 	local := cfg
 	local.Dims = block
-	// progress is reported once, not once per rank
+	// progress and step spans are reported once, not once per rank
 	if r.ID() != 0 {
 		local.Observer = nil
+		local.Tracer = nil
 	}
 	local.OriginX = cfg.OriginX + float64(i0)*cfg.Dx
 	local.OriginY = cfg.OriginY + float64(j0)*cfg.Dx
@@ -193,6 +202,7 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 		}
 		sim.stepWith(ex)
 		sim.observe(rankStart)
+		sw := sim.stages.Stopwatch()
 		if cfg.Checkpoint != nil && cfg.Checkpoint.Due(sim.step) {
 			infos, err := parallelCheckpoint(r, pg, cfg, sim)
 			if err != nil {
@@ -200,13 +210,16 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 				return
 			}
 			out.checkpoints = append(out.checkpoints, infos...)
+			sw.Lap(telemetry.StageCheckpoint)
 		}
 		// divergence detection is collective so every rank stops together
 		m := float64(sim.WF.MaxAbsVelocity())
 		if math.IsNaN(m) {
 			m = math.Inf(1)
 		}
-		if g := r.AllreduceMax(m); g > 1e6 {
+		g := r.AllreduceMax(m)
+		sw.Lap(telemetry.StageDivergence)
+		if g > 1e6 {
 			out.err = fmt.Errorf("solution diverged at step %d (max |v| = %g)", sim.step, g)
 			return
 		}
@@ -215,6 +228,7 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 	out.pgv = sim.pgv
 	out.yielded = sim.yielded
 	out.perf = sim.perf
+	out.stages = sim.stages
 	out.steps = sim.step
 	if sim.cgx != nil {
 		stats := sim.cgx.Stats

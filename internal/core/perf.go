@@ -25,9 +25,14 @@ type Perf struct {
 	Elapsed          time.Duration
 }
 
-// AddCounters folds another rank's kernel-point counters into p. Steps and
-// Elapsed describe the run as a whole, not a sum over ranks, and are set by
-// the caller.
+// AddCounters folds another rank's kernel-point counters into p.
+//
+// Ownership rule (enforced by TestAddCountersNeverSumsStepsOrElapsed):
+// Steps and Elapsed describe the run as a whole — every rank steps the same
+// count in the same wall-clock window — so AddCounters must NEVER sum them;
+// the caller sets them once from the run. Summing them across ranks would
+// multiply the denominator of every rate by the rank count and silently
+// deflate Gflops/PointsPerSecond.
 func (p *Perf) AddCounters(o Perf) {
 	p.VelocityPoints += o.VelocityPoints
 	p.StressPoints += o.StressPoints
@@ -58,6 +63,16 @@ func (p Perf) PointsPerSecond() float64 {
 		return 0
 	}
 	return float64(p.VelocityPoints) / p.Elapsed.Seconds()
+}
+
+// Utilization returns the fraction of peakGflops the run sustained — the
+// paper's Table 4 efficiency column (sustained / peak). Zero when the peak
+// is unknown or no time has elapsed.
+func (p Perf) Utilization(peakGflops float64) float64 {
+	if peakGflops <= 0 {
+		return 0
+	}
+	return p.Gflops() / peakGflops
 }
 
 func (p Perf) String() string {

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"time"
+
 	"swquake/internal/cgexec"
 	"swquake/internal/fd"
 	"swquake/internal/plasticity"
+	"swquake/internal/telemetry"
 )
 
 // This file is the step-pipeline engine: the ONE implementation of the
@@ -90,66 +93,99 @@ func (b cgBackend) Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1
 
 // stepWith advances one full time step through the pipeline, then runs the
 // post-step stages every runner shares: step/time bookkeeping, station
-// recording and PGV accumulation.
+// recording and PGV accumulation. When Cfg.Tracer is set, the whole step is
+// also emitted as one trace span on the configured track.
 func (s *Simulator) stepWith(ex Exchanger) {
+	var t0 time.Time
+	if s.Cfg.Tracer != nil {
+		t0 = timeNow()
+	}
 	s.stepPipeline(ex)
 	s.step++
 	s.simTime += s.Cfg.Dt
+	sw := s.stages.Stopwatch()
 	s.rec.Record(s.WF)
 	if s.pgv != nil {
 		s.pgv.Update(s.WF)
+	}
+	sw.Lap(telemetry.StageRecord)
+	if s.Cfg.Tracer != nil {
+		s.Cfg.Tracer.Span(0, s.Cfg.TraceTID, "engine", "step", t0, timeNow().Sub(t0),
+			map[string]any{"step": s.step, "sim_time_s": s.simTime})
 	}
 }
 
 // stepPipeline runs the stage sequence once. Slabs are the whole depth for
 // plain storage and CompressionConfig.SlabHeight in compressed mode, where
 // each slab is decoded, computed on and re-encoded (Fig. 5c).
+//
+// Every stage charges its wall time to the simulator's StageClock through a
+// chained stopwatch (one time.Now per stage boundary, nothing at all when
+// timing is disabled) — the per-kernel accounting of paper Fig. 7 / §7.1.
 func (s *Simulator) stepPipeline(ex Exchanger) {
 	s.countKernels()
 	dtdx := float32(s.Cfg.Dt / s.Cfg.Dx)
 	nz := s.Cfg.Dims.Nz
 	slab := nz
+	sw := s.stages.Stopwatch()
 	if s.comp != nil {
 		slab = s.comp.slab
 		s.compDecodeAll()
+		sw.Lap(telemetry.StageCompression)
 	}
 
 	// velocity phase
 	fd.ApplyFreeSurface(s.WF)
+	sw.Lap(telemetry.StageFreeSurface)
 	for k0 := 0; k0 < nz; k0 += slab {
 		s.backend.Velocity(s.WF, s.Med, dtdx, k0, minI(k0+slab, nz))
 	}
+	sw.Lap(telemetry.StageVelocity)
 	if s.comp != nil {
 		s.compRoundtripVelocities()
+		sw.Lap(telemetry.StageCompression)
 	}
 	ex.ExchangeVelocity(s.WF, s.step)
+	sw.Lap(telemetry.StageHaloVelocity)
 
 	// stress phase
 	fd.ApplyFreeSurface(s.WF)
+	sw.Lap(telemetry.StageFreeSurface)
 	if s.sls != nil {
 		s.sls.Before(s.WF)
+		sw.Lap(telemetry.StageAttenuation)
 	}
 	for k0 := 0; k0 < nz; k0 += slab {
 		k1 := minI(k0+slab, nz)
 		s.backend.Stress(s.WF, s.Med, dtdx, k0, k1)
+		sw.Lap(telemetry.StageStress)
 		if s.sls != nil {
 			s.sls.After(s.WF, s.Cfg.Dt, k0, k1)
+			sw.Lap(telemetry.StageAttenuation)
 		}
 		s.srcs.Inject(s.WF, s.simTime, s.Cfg.Dt, s.Cfg.Dx, k0, k1)
+		sw.Lap(telemetry.StageSource)
 		if s.Plas != nil {
 			s.yielded += int64(plasticity.Apply(s.WF, s.Plas, s.Cfg.Dt, k0, k1))
+			sw.Lap(telemetry.StagePlasticity)
 		}
 		if s.atten != nil {
 			s.atten.Apply(s.WF, k0, k1)
+			sw.Lap(telemetry.StageAttenuation)
 		}
 		if s.sponge != nil {
 			s.sponge.Apply(s.WF, k0, k1)
+			sw.Lap(telemetry.StageSponge)
 		}
 	}
 	if s.comp != nil {
 		s.compStoreAll()
+		sw.Lap(telemetry.StageCompression)
 	}
-	if ex.ExchangeStress(s.WF, s.step) && s.comp != nil {
+	changed := ex.ExchangeStress(s.WF, s.step)
+	sw.Lap(telemetry.StageHaloStress)
+	if changed && s.comp != nil {
 		s.compEncodeStressGhosts()
+		sw.Lap(telemetry.StageCompression)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"swquake/internal/plasticity"
 	"swquake/internal/seismo"
 	"swquake/internal/source"
+	"swquake/internal/telemetry"
 )
 
 // Simulator advances one block of the simulation.
@@ -38,6 +39,10 @@ type Simulator struct {
 	simTime float64
 	yielded int64
 	perf    Perf
+	// stages is this worker's per-stage timing collector (nil when
+	// Cfg.NoStageTiming): lock-free because each rank owns its own clock,
+	// merged across ranks by RunParallel.
+	stages *telemetry.StageClock
 }
 
 // Result is what Run returns.
@@ -55,6 +60,10 @@ type Result struct {
 	Sunway *cgexec.Stats
 	// Checkpoints lists restart files written during the run.
 	Checkpoints []checkpoint.Info
+	// Stages is the per-stage wall-time accounting of the run (summed over
+	// ranks under RunParallel; nil when Config.NoStageTiming). Call
+	// Stages.Report() for the Fig. 7-style breakdown.
+	Stages *telemetry.StageClock
 	// Sim exposes the simulator for inspection after the run.
 	Sim *Simulator
 }
@@ -66,6 +75,9 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{Cfg: cfg}
+	if !cfg.NoStageTiming {
+		s.stages = telemetry.NewStageClock()
+	}
 	s.WF = fd.NewWavefield(cfg.Dims)
 	s.Med = fd.NewMediumFromModel(cfg.Dims, cfg.Dx, cfg.Model, cfg.OriginX, cfg.OriginY)
 	if err := s.Med.Validate(); err != nil {
@@ -182,6 +194,9 @@ func (s *Simulator) Recorder() *seismo.Recorder { return s.rec }
 // PGV exposes the peak-ground-velocity accumulator, or nil if disabled.
 func (s *Simulator) PGV() *seismo.PGVField { return s.pgv }
 
+// Stages exposes the per-stage timing collector (nil when disabled).
+func (s *Simulator) Stages() *telemetry.StageClock { return s.stages }
+
 // Step advances one time step through the pipeline with no halo exchange
 // (the serial execution of the stage sequence in pipeline.go).
 func (s *Simulator) Step() {
@@ -232,6 +247,7 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 		}
 		s.Step()
 		s.observe(runStart)
+		sw := s.stages.Stopwatch()
 		if s.Cfg.Checkpoint != nil {
 			info, saved, err := s.Cfg.Checkpoint.MaybeSave(s.step, s.simTime, s.WF)
 			if err != nil {
@@ -240,13 +256,17 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 			if saved {
 				res.Checkpoints = append(res.Checkpoints, info)
 			}
+			sw.Lap(telemetry.StageCheckpoint)
 		}
-		if m := s.WF.MaxAbsVelocity(); math.IsNaN(float64(m)) || m > 1e6 {
+		m := s.WF.MaxAbsVelocity()
+		sw.Lap(telemetry.StageDivergence)
+		if math.IsNaN(float64(m)) || m > 1e6 {
 			return nil, fmt.Errorf("core: solution diverged at step %d (max |v| = %g)", s.step, m)
 		}
 	}
 	res.Steps = s.step
 	res.YieldedPointSteps = s.yielded
+	res.Stages = s.stages
 	s.perf.Elapsed += timeNow().Sub(runStart)
 	res.Perf = s.perf
 	if s.cgx != nil {

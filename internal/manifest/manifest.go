@@ -14,6 +14,7 @@ import (
 	"swquake/internal/core"
 	"swquake/internal/grid"
 	"swquake/internal/seismo"
+	"swquake/internal/telemetry"
 )
 
 // RunManifest is a machine-readable summary of a completed simulation.
@@ -33,6 +34,11 @@ type RunManifest struct {
 	YieldedPointSteps int64   `json:"yielded_point_steps"`
 	Flops             int64   `json:"flops"`
 	SustainedGflops   float64 `json:"sustained_gflops"`
+
+	// Stages is the per-stage wall-time breakdown of the run (the Fig. 7
+	// kernel accounting): name, observation count, total/min/max seconds
+	// and fixed-bucket histogram per pipeline stage.
+	Stages []telemetry.StageStats `json:"stages,omitempty"`
 
 	Checkpoints []string `json:"checkpoints,omitempty"`
 }
@@ -58,6 +64,7 @@ func New(cfg core.Config, res *core.Result) RunManifest {
 		YieldedPointSteps: res.YieldedPointSteps,
 		Flops:             res.Perf.Flops(),
 		SustainedGflops:   res.Perf.Gflops(),
+		Stages:            res.Stages.Report().Stages,
 	}
 	for _, tr := range res.Recorder.Traces {
 		pgv := tr.PeakVelocity()

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
@@ -33,6 +34,7 @@ import (
 	"swquake/internal/core"
 	"swquake/internal/faultinject"
 	"swquake/internal/manifest"
+	"swquake/internal/telemetry"
 )
 
 // Sentinel errors of the submission and result API.
@@ -113,6 +115,17 @@ type Options struct {
 	// RetryBackoff * 2^(attempt-1), capped at 32x, with ±25% jitter
 	// (0 = 100ms).
 	RetryBackoff time.Duration
+
+	// Logger receives structured job-lifecycle events (submitted, started,
+	// done, failed, retrying, canceled, recovered), each carrying job_id
+	// and, where known, scenario and attempt. Nil discards them.
+	Logger *slog.Logger
+	// Tracer, when set, records the job lifecycle as Chrome trace events:
+	// a "queued" span from submission to worker pickup, a "running" span
+	// per attempt, and instants for checkpoints and retries. Each job gets
+	// its own track (tid = job sequence number), and the engine's per-step
+	// spans land on the same track.
+	Tracer *telemetry.Tracer
 }
 
 // Status is a point-in-time snapshot of a job.
@@ -199,12 +212,28 @@ type job struct {
 
 // Service runs simulation jobs on a bounded queue and worker pool.
 type Service struct {
-	opts  Options
-	queue chan *job
-	cache *resultCache
-	vars  *expvar.Map
-	wg    sync.WaitGroup
-	wal   *journal // nil without DataDir
+	opts   Options
+	queue  chan *job
+	cache  *resultCache
+	vars   *expvar.Map
+	wg     sync.WaitGroup
+	wal    *journal // nil without DataDir
+	log    *slog.Logger
+	tracer *telemetry.Tracer
+
+	// jobLatency observes submit-to-terminal seconds of every finished job.
+	jobLatency *telemetry.Histogram
+	// queueDepth mirrors the jobs_queued counter as an atomic so the
+	// Prometheus gauge and the high-water mark don't race the expvar map;
+	// queueHW is the deepest the queue has ever been.
+	queueDepth atomic.Int64
+	queueHW    atomic.Int64
+
+	// stageAgg accumulates per-stage engine seconds over every completed
+	// job — the service-wide Fig. 7 breakdown. Each run times into its own
+	// lock-free clock; only the merge here takes the mutex.
+	stageMu  sync.Mutex
+	stageAgg *telemetry.StageClock
 
 	mu          sync.Mutex
 	jobs        map[string]*job
@@ -295,11 +324,18 @@ func Open(opts Options) (*Service, error) {
 	if len(live) > queueSize {
 		queueSize = len(live)
 	}
+	if opts.Logger == nil {
+		opts.Logger = telemetry.Discard()
+	}
 	s := &Service{
 		opts:        opts,
 		queue:       make(chan *job, queueSize),
 		cache:       newResultCache(opts.CacheSize),
 		vars:        new(expvar.Map).Init(),
+		log:         opts.Logger,
+		tracer:      opts.Tracer,
+		jobLatency:  telemetry.NewHistogram(telemetry.DefLatencyBuckets),
+		stageAgg:    telemetry.NewStageClock(),
 		jobs:        make(map[string]*job),
 		retryTimers: make(map[string]*time.Timer),
 		nextID:      maxID,
@@ -383,9 +419,37 @@ func (s *Service) requeueRecovered(rec *jobRecord) error {
 	}
 	s.jobs[j.id] = j
 	s.vars.Add("jobs_submitted", 1)
-	s.vars.Add("jobs_queued", 1)
+	s.noteQueued(1)
 	s.vars.Add("jobs_recovered", 1)
+	s.jobLog(j).Info("job recovered", "attempt", j.attempt)
+	s.tracer.NameThread(0, jobSeq(j.id), j.id)
 	return nil
+}
+
+// noteQueued is the single bottleneck for queue-depth accounting: it moves
+// the jobs_queued counter and the atomic depth gauge together and advances
+// the high-water mark, so every enqueue/dequeue path stays consistent.
+func (s *Service) noteQueued(delta int64) {
+	s.vars.Add("jobs_queued", delta)
+	d := s.queueDepth.Add(delta)
+	if delta > 0 {
+		for {
+			hw := s.queueHW.Load()
+			if d <= hw || s.queueHW.CompareAndSwap(hw, d) {
+				break
+			}
+		}
+	}
+}
+
+// jobLog returns a job-scoped logger carrying the identifying fields every
+// lifecycle line should have.
+func (s *Service) jobLog(j *job) *slog.Logger {
+	l := s.log.With("job_id", j.id)
+	if j.req.Spec != nil {
+		l = l.With("scenario", j.req.Spec.Scenario)
+	}
+	return l
 }
 
 // logEvent appends to the journal when the service is durable.
@@ -456,6 +520,7 @@ func (s *Service) Submit(req Request) (string, error) {
 		s.vars.Add("jobs_submitted", 1)
 		s.vars.Add("cache_hits", 1)
 		s.vars.Add("jobs_done", 1)
+		s.jobLog(j).Info("job served from cache")
 		return j.id, nil
 	}
 
@@ -465,7 +530,10 @@ func (s *Service) Submit(req Request) (string, error) {
 		s.jobs[j.id] = j
 		s.vars.Add("jobs_submitted", 1)
 		s.vars.Add("cache_misses", 1)
-		s.vars.Add("jobs_queued", 1)
+		s.noteQueued(1)
+		s.jobLog(j).Info("job submitted",
+			"steps", j.stepsTotal, "mx", req.MX, "my", req.MY)
+		s.tracer.NameThread(0, jobSeq(j.id), j.id)
 		if req.Spec != nil {
 			// write-ahead: the submission is on disk before Submit returns,
 			// so a crash between accept and completion cannot lose the job
@@ -493,7 +561,7 @@ func (s *Service) runJob(j *job) {
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while waiting in the queue
 		s.mu.Unlock()
-		s.vars.Add("jobs_queued", -1)
+		s.noteQueued(-1)
 		return
 	}
 	j.state = StateRunning
@@ -502,8 +570,12 @@ func (s *Service) runJob(j *job) {
 	j.resumedStep = 0
 	attempt := j.attempt
 	s.mu.Unlock()
-	s.vars.Add("jobs_queued", -1)
+	s.noteQueued(-1)
 	s.vars.Add("jobs_running", 1)
+
+	tid := jobSeq(j.id)
+	jl := s.jobLog(j).With("attempt", attempt)
+	s.tracer.Span(0, tid, "job", "queued", j.submitted, j.started.Sub(j.submitted), nil)
 
 	ctx := j.ctx
 	timeout := j.req.Timeout
@@ -518,6 +590,9 @@ func (s *Service) runJob(j *job) {
 
 	cfg := j.req.Config
 	serial := j.req.MX <= 1 && j.req.MY <= 1
+	// the engine's per-step spans land on this job's trace track
+	cfg.Tracer = s.tracer
+	cfg.TraceTID = tid
 
 	// durable serial jobs auto-checkpoint into their own directory and, on
 	// a retry or post-crash requeue, resume from the newest dump that
@@ -545,6 +620,7 @@ func (s *Service) runJob(j *job) {
 	if j.req.Spec != nil {
 		s.logEvent(journalEvent{Event: "started", JobID: j.id, Attempt: attempt})
 	}
+	jl.Info("job started", "resumed_step", j.resumedStep, "serial", serial)
 
 	cfg.Observer = func(ev core.StepEvent) {
 		j.stepsDone.Store(int64(ev.Step))
@@ -553,6 +629,8 @@ func (s *Service) runJob(j *job) {
 		s.vars.Add("steps_done", 1)
 		if ctl != nil && ctl.Due(ev.Step) {
 			s.logEvent(journalEvent{Event: "progress", JobID: j.id, Attempt: attempt, Step: ev.Step})
+			s.tracer.Instant(0, tid, "job", "checkpoint", time.Now(),
+				map[string]any{"step": ev.Step})
 		}
 	}
 
@@ -588,6 +666,18 @@ func (s *Service) runJob(j *job) {
 	s.vars.Add("jobs_running", -1)
 	s.mu.Lock()
 	j.finished = time.Now()
+	// endAttempt closes out the attempt's trace span and, when the state is
+	// terminal, observes submit-to-finish latency. The timestamps are
+	// captured here, under s.mu, because a job parked in StateRetrying can
+	// have j.finished rewritten by Cancel or Drain the moment the lock drops.
+	started, finished := j.started, j.finished
+	endAttempt := func(state State, terminal bool) {
+		s.tracer.Span(0, tid, "job", "running", started, finished.Sub(started),
+			map[string]any{"state": string(state), "attempt": attempt})
+		if terminal {
+			s.jobLatency.Observe(finished.Sub(j.submitted).Seconds())
+		}
+	}
 	switch {
 	case err == nil:
 		j.result = buildResult(cfg, res)
@@ -596,6 +686,10 @@ func (s *Service) runJob(j *job) {
 		s.cache.add(j.key, j.result)
 		s.vars.Add("jobs_done", 1)
 		s.mu.Unlock()
+		endAttempt(StateDone, true)
+		s.mergeStages(res.Stages)
+		jl.Info("job done",
+			"steps", res.Steps, "elapsed_s", finished.Sub(started).Seconds())
 		if j.req.Spec != nil {
 			s.logEvent(journalEvent{Event: "done", JobID: j.id, Attempt: attempt})
 		}
@@ -606,6 +700,8 @@ func (s *Service) runJob(j *job) {
 		parked := j.parked && j.req.Spec != nil
 		s.vars.Add("jobs_canceled", 1)
 		s.mu.Unlock()
+		endAttempt(StateCanceled, true)
+		jl.Warn("job canceled", "parked", parked)
 		// a job stopped by Drain's deadline (rather than a user) keeps its
 		// checkpoints and its journal stays non-terminal, so the next boot
 		// resumes it — a graceful shutdown must never lose work a SIGKILL
@@ -625,6 +721,10 @@ func (s *Service) runJob(j *job) {
 		s.retryTimers[j.id] = time.AfterFunc(delay, func() { s.requeueRetry(j) })
 		s.vars.Add("jobs_retried", 1)
 		s.mu.Unlock()
+		endAttempt(StateRetrying, false)
+		s.tracer.Instant(0, tid, "job", "retry", finished,
+			map[string]any{"error": err.Error(), "delay_s": delay.Seconds()})
+		jl.Warn("job retrying", "error", err.Error(), "delay_s", delay.Seconds())
 		if j.req.Spec != nil {
 			s.logEvent(journalEvent{Event: "retrying", JobID: j.id, Attempt: attempt, Error: err.Error()})
 		}
@@ -634,11 +734,31 @@ func (s *Service) runJob(j *job) {
 		j.state = StateFailed
 		s.vars.Add("jobs_failed", 1)
 		s.mu.Unlock()
+		endAttempt(StateFailed, true)
+		jl.Error("job failed", "error", err.Error())
 		if j.req.Spec != nil {
 			s.logEvent(journalEvent{Event: "failed", JobID: j.id, Attempt: attempt, Error: err.Error()})
 		}
 	}
 	close(j.done)
+}
+
+// mergeStages folds one run's per-stage clock into the service aggregate.
+func (s *Service) mergeStages(c *telemetry.StageClock) {
+	if c == nil {
+		return
+	}
+	s.stageMu.Lock()
+	s.stageAgg.Merge(c)
+	s.stageMu.Unlock()
+}
+
+// StageReport snapshots the per-stage engine seconds accumulated over every
+// completed job — the service-wide kernel-time breakdown.
+func (s *Service) StageReport() telemetry.StageReport {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	return s.stageAgg.Report()
 }
 
 // removeCheckpoints clears a finished job's checkpoint directory — the
@@ -686,7 +806,7 @@ func (s *Service) requeueRetry(j *job) {
 	j.state = StateQueued
 	select {
 	case s.queue <- j:
-		s.vars.Add("jobs_queued", 1)
+		s.noteQueued(1)
 		s.mu.Unlock()
 	default:
 		s.failRetryingLocked(j, ErrQueueFull, true)
@@ -805,6 +925,7 @@ func (s *Service) Cancel(id string) bool {
 		s.mu.Unlock()
 		j.cancel()
 		s.vars.Add("jobs_canceled", 1)
+		s.jobLog(j).Warn("job canceled", "attempt", attempt, "while", "queued")
 		if j.req.Spec != nil {
 			s.logEvent(journalEvent{Event: "canceled", JobID: j.id, Attempt: attempt})
 		}
@@ -862,6 +983,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		s.log.Info("service draining", "queued", s.queueDepth.Load())
 	}
 	// jobs parked in retry backoff will never run again in this process:
 	// stop their timers and fail them here, without journaling the failure
@@ -909,6 +1031,10 @@ type Metrics struct {
 	CacheHits, CacheMisses          int64
 	StepsDone                       int64
 	CacheEntries, Workers, QueueCap int
+	// QueueDepth is the current number of queued jobs; QueueHighWater is
+	// the deepest the queue has been since boot — the capacity-planning
+	// number (how close did backpressure get to ErrQueueFull).
+	QueueDepth, QueueHighWater int64
 }
 
 // Metrics snapshots the counters (the same values /metrics serves).
@@ -937,9 +1063,74 @@ func (s *Service) Metrics() Metrics {
 		CacheEntries:     s.cache.len(),
 		Workers:          s.opts.Workers,
 		QueueCap:         s.opts.QueueSize,
+		QueueDepth:       s.queueDepth.Load(),
+		QueueHighWater:   s.queueHW.Load(),
 	}
 }
 
 // Vars exposes the expvar map backing Metrics — quaked serves it at
 // /metrics and can expvar.Publish it for the process-wide registry.
 func (s *Service) Vars() *expvar.Map { return s.vars }
+
+// RegisterProm registers the service's metric families on a Prometheus
+// registry (the swquake_* names quaked serves at /metrics?format=prometheus):
+// the lifecycle counters, queue gauges with the high-water mark, the
+// job-latency histogram, and per-stage engine seconds as a labeled counter.
+func (s *Service) RegisterProm(reg *telemetry.PromRegistry) {
+	counter := func(expvarName string) func() float64 {
+		return func() float64 {
+			if v, ok := s.vars.Get(expvarName).(*expvar.Int); ok {
+				return float64(v.Value())
+			}
+			return 0
+		}
+	}
+	reg.CounterFunc("swquake_jobs_submitted_total", "Jobs accepted by Submit.", counter("jobs_submitted"))
+	reg.CounterFunc("swquake_jobs_done_total", "Jobs finished successfully.", counter("jobs_done"))
+	reg.CounterFunc("swquake_jobs_failed_total", "Jobs failed permanently.", counter("jobs_failed"))
+	reg.CounterFunc("swquake_jobs_canceled_total", "Jobs canceled by users or shutdown.", counter("jobs_canceled"))
+	reg.CounterFunc("swquake_jobs_retried_total", "Transient failures sent to retry backoff.", counter("jobs_retried"))
+	reg.CounterFunc("swquake_jobs_recovered_total", "Jobs requeued from the journal on boot.", counter("jobs_recovered"))
+	reg.CounterFunc("swquake_worker_panics_total", "Engine panics isolated by the worker pool.", counter("worker_panics"))
+	reg.CounterFunc("swquake_journal_events_total", "Events appended to the durability journal.", counter("journal_events"))
+	reg.CounterFunc("swquake_checkpoints_saved_total", "Auto-checkpoints written by running jobs.", counter("checkpoints_saved"))
+	reg.CounterFunc("swquake_cache_hits_total", "Submissions served from the result cache.", counter("cache_hits"))
+	reg.CounterFunc("swquake_cache_misses_total", "Submissions that had to be solved.", counter("cache_misses"))
+	reg.CounterFunc("swquake_steps_total", "Solver steps completed across all jobs (rate() gives steps/sec).", counter("steps_done"))
+
+	reg.GaugeFunc("swquake_jobs_running", "Jobs currently executing on a worker.", counter("jobs_running"))
+	reg.GaugeFunc("swquake_queue_depth", "Jobs currently waiting in the submission queue.",
+		func() float64 { return float64(s.queueDepth.Load()) })
+	reg.GaugeFunc("swquake_queue_high_water", "Deepest the submission queue has been since boot.",
+		func() float64 { return float64(s.queueHW.Load()) })
+	reg.GaugeFunc("swquake_queue_capacity", "Submission queue capacity (backpressure threshold).",
+		func() float64 { return float64(s.opts.QueueSize) })
+	reg.GaugeFunc("swquake_workers", "Worker-pool size.",
+		func() float64 { return float64(s.opts.Workers) })
+	reg.GaugeFunc("swquake_cache_entries", "Entries in the LRU result cache.",
+		func() float64 { return float64(s.cache.len()) })
+
+	reg.Histogram("swquake_job_duration_seconds",
+		"Submit-to-terminal latency of finished jobs.", s.jobLatency)
+
+	reg.LabeledCounterFunc("swquake_stage_seconds_total",
+		"Engine wall seconds per pipeline stage, summed over completed jobs.", "stage",
+		func() map[string]float64 {
+			rep := s.StageReport()
+			out := make(map[string]float64, len(rep.Stages))
+			for _, st := range rep.Stages {
+				out[st.Name] = st.Seconds
+			}
+			return out
+		})
+	reg.LabeledCounterFunc("swquake_stage_observations_total",
+		"Stage timing observations per pipeline stage.", "stage",
+		func() map[string]float64 {
+			rep := s.StageReport()
+			out := make(map[string]float64, len(rep.Stages))
+			for _, st := range rep.Stages {
+				out[st.Name] = float64(st.Count)
+			}
+			return out
+		})
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: what /healthz reports and what
+// benchmark records are stamped with, so a measurement can always be traced
+// back to the code that produced it.
+type BuildInfo struct {
+	GoVersion     string `json:"go_version"`
+	ModulePath    string `json:"module,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	// Revision is the VCS commit the binary was built from (empty when the
+	// build had no VCS stamping, e.g. `go test` binaries).
+	Revision string `json:"revision,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// ReadBuildInfo collects the binary's build identity from the runtime and
+// debug.ReadBuildInfo. It never fails: missing pieces stay zero.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.ModulePath = info.Main.Path
+	bi.ModuleVersion = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Dirty = s.Value == "true"
+		}
+	}
+	return bi
+}

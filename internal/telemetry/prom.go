@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// PromRegistry renders metrics in the Prometheus text exposition format
+// (version 0.0.4, the format promtool and every scraper accept) with no
+// dependency beyond the standard library. Metrics register once with a
+// collection closure and are sampled at Write time, so the registry holds
+// no state of its own and a scrape is always current.
+type PromRegistry struct {
+	mu      sync.Mutex
+	metrics []promMetric
+}
+
+type promMetric struct {
+	name, help, typ string
+	// exactly one of the collectors is set
+	value  func() float64
+	values func() map[string]float64 // label value -> sample
+	label  string                    // label name for values
+	hist   func() HistogramSnapshot
+}
+
+// NewPromRegistry returns an empty registry.
+func NewPromRegistry() *PromRegistry { return &PromRegistry{} }
+
+func (r *PromRegistry) add(m promMetric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, m)
+}
+
+// CounterFunc registers a monotonically increasing metric sampled from fn.
+func (r *PromRegistry) CounterFunc(name, help string, fn func() float64) {
+	r.add(promMetric{name: name, help: help, typ: "counter", value: fn})
+}
+
+// GaugeFunc registers a point-in-time metric sampled from fn.
+func (r *PromRegistry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(promMetric{name: name, help: help, typ: "gauge", value: fn})
+}
+
+// LabeledCounterFunc registers a counter family with one label; fn returns
+// the current sample per label value. Label values are rendered sorted so
+// the exposition is deterministic.
+func (r *PromRegistry) LabeledCounterFunc(name, help, label string, fn func() map[string]float64) {
+	r.add(promMetric{name: name, help: help, typ: "counter", label: label, values: fn})
+}
+
+// HistogramFunc registers a histogram family sampled from fn.
+func (r *PromRegistry) HistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	r.add(promMetric{name: name, help: help, typ: "histogram", hist: fn})
+}
+
+// Histogram registers a live Histogram under name.
+func (r *PromRegistry) Histogram(name, help string, h *Histogram) {
+	r.HistogramFunc(name, help, h.Snapshot)
+}
+
+// Write renders every registered metric in registration order.
+func (r *PromRegistry) Write(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]promMetric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	for _, m := range metrics {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case m.value != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.value()))
+		case m.values != nil:
+			err = writeLabeled(w, m)
+		case m.hist != nil:
+			err = writeHistogram(w, m.name, m.hist())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeLabeled(w io.Writer, m promMetric) error {
+	samples := m.values()
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n",
+			m.name, m.label, escapeLabel(k), formatFloat(samples[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s HistogramSnapshot) error {
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	return err
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline — exactly the three escapes the format defines
+// (promtool rejects \x-style escapes, so fmt's %q cannot be used here).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
