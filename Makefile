@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench bench-json profile repro fuzz clean serve-smoke crash-test
+.PHONY: all build check vet test race bench bench-json bench-tiles profile repro fuzz clean serve-smoke crash-test
 
 all: build check test
 
@@ -30,6 +30,11 @@ bench:
 # per-stage kernel breakdown, with build identity for cross-revision tracking
 bench-json:
 	$(GO) run ./cmd/bench -core-json BENCH_core.json
+
+# serial vs tiled throughput on the same scenario: how much the intra-rank
+# tile pool buys on this machine (bit-identical results either way)
+bench-tiles:
+	$(GO) run ./cmd/bench -compare-tiles -core-steps 100
 
 # CPU-profile the serial benchmark and print the top-10 hot functions
 profile:

@@ -51,12 +51,18 @@ func run(args []string, w io.Writer) error {
 		coreJSON     = fs.String("core-json", "", "run the serial core benchmark and write a machine-readable JSON report to FILE")
 		coreScenario = fs.String("core-scenario", "quickstart", "scenario for -core-json")
 		coreSteps    = fs.Int("core-steps", 0, "step count for -core-json (0 = scenario default)")
+		coreTiles    = fs.Int("tiles", 0, "intra-rank tile count for -core-json / -compare-tiles (-1 = auto)")
+		coreOverlap  = fs.Bool("overlap", false, "overlapped halo pipeline for -core-json")
+		compareTiles = fs.Bool("compare-tiles", false, "run the core benchmark serial then tiled and print the throughput comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *compareTiles {
+		return runCompareTiles(w, *coreScenario, *coreSteps, *coreTiles)
+	}
 	if *coreJSON != "" {
-		return runCoreBench(w, *coreJSON, *coreScenario, *coreSteps)
+		return runCoreBench(w, *coreJSON, *coreScenario, *coreSteps, *coreTiles, *coreOverlap)
 	}
 	size := experiments.Quick
 	if *full {
@@ -179,6 +185,8 @@ type coreBenchReport struct {
 	Scenario     string                 `json:"scenario"`
 	Dims         grid.Dims              `json:"dims"`
 	Steps        int                    `json:"steps"`
+	Tiles        int                    `json:"tiles,omitempty"`
+	Overlap      bool                   `json:"overlap,omitempty"`
 	ElapsedS     float64                `json:"elapsed_s"`
 	Gflops       float64                `json:"gflops"`
 	PointsPerSec float64                `json:"points_per_sec"`
@@ -188,33 +196,10 @@ type coreBenchReport struct {
 }
 
 // runCoreBench runs the named scenario serially and writes the JSON report.
-func runCoreBench(w io.Writer, path, scen string, steps int) error {
-	cfg, err := scenario.Build(scen, scenario.Overrides{Steps: steps})
+func runCoreBench(w io.Writer, path, scen string, steps, tiles int, overlap bool) error {
+	rep, err := coreBenchRun(w, scen, steps, tiles, overlap)
 	if err != nil {
 		return err
-	}
-	sim, err := core.New(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "core benchmark: %s, %v grid, %d steps...\n", scen, cfg.Dims, cfg.Steps)
-	start := time.Now()
-	res, err := sim.Run()
-	if err != nil {
-		return err
-	}
-	rep := coreBenchReport{
-		Scenario:     scen,
-		Dims:         cfg.Dims,
-		Steps:        res.Steps,
-		ElapsedS:     time.Since(start).Seconds(),
-		Gflops:       res.Perf.Gflops(),
-		PointsPerSec: res.Perf.PointsPerSecond(),
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Build:        telemetry.ReadBuildInfo(),
-	}
-	if res.Stages != nil {
-		rep.Stages = res.Stages.Report().Stages
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -231,6 +216,66 @@ func runCoreBench(w io.Writer, path, scen string, steps int) error {
 	}
 	fmt.Fprintf(w, "core benchmark: %.2f Gflops, %.3g points/s -> %s\n",
 		rep.Gflops, rep.PointsPerSec, path)
+	return nil
+}
+
+// coreBenchRun executes one serial benchmark run and builds its report.
+func coreBenchRun(w io.Writer, scen string, steps, tiles int, overlap bool) (coreBenchReport, error) {
+	cfg, err := scenario.Build(scen, scenario.Overrides{Steps: steps, Tiles: tiles, Overlap: overlap})
+	if err != nil {
+		return coreBenchReport{}, err
+	}
+	sim, err := core.New(cfg)
+	if err != nil {
+		return coreBenchReport{}, err
+	}
+	fmt.Fprintf(w, "core benchmark: %s, %v grid, %d steps, tiles=%d overlap=%v...\n",
+		scen, cfg.Dims, cfg.Steps, tiles, overlap)
+	start := time.Now()
+	res, err := sim.Run()
+	if err != nil {
+		return coreBenchReport{}, err
+	}
+	rep := coreBenchReport{
+		Scenario:     scen,
+		Dims:         cfg.Dims,
+		Steps:        res.Steps,
+		Tiles:        tiles,
+		Overlap:      overlap,
+		ElapsedS:     time.Since(start).Seconds(),
+		Gflops:       res.Perf.Gflops(),
+		PointsPerSec: res.Perf.PointsPerSecond(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Build:        telemetry.ReadBuildInfo(),
+	}
+	if res.Stages != nil {
+		rep.Stages = res.Stages.Report().Stages
+	}
+	return rep, nil
+}
+
+// runCompareTiles runs the same serial benchmark single-threaded and tiled
+// (the requested tile count, or GOMAXPROCS with 0/-1) and prints the
+// throughput side by side — what `make bench-tiles` drives.
+func runCompareTiles(w io.Writer, scen string, steps, tiles int) error {
+	if tiles == 0 || tiles == core.AutoTiles {
+		tiles = runtime.GOMAXPROCS(0)
+	}
+	serial, err := coreBenchRun(w, scen, steps, 0, false)
+	if err != nil {
+		return err
+	}
+	tiled, err := coreBenchRun(w, scen, steps, tiles, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%-10s %8s %12s %14s %10s\n", "variant", "tiles", "elapsed (s)", "points/s", "speedup")
+	fmt.Fprintf(w, "%-10s %8d %12.3f %14.3g %10s\n", "serial", 1, serial.ElapsedS, serial.PointsPerSec, "1.00x")
+	speedup := 0.0
+	if tiled.PointsPerSec > 0 && serial.PointsPerSec > 0 {
+		speedup = tiled.PointsPerSec / serial.PointsPerSec
+	}
+	fmt.Fprintf(w, "%-10s %8d %12.3f %14.3g %9.2fx\n", "tiled", tiles, tiled.ElapsedS, tiled.PointsPerSec, speedup)
 	return nil
 }
 

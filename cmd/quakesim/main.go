@@ -65,6 +65,8 @@ func run(args []string, w io.Writer) error {
 		qVsScaled = fs.Bool("q-vs", false, "Vs-scaled attenuation (Qs = 0.05 Vs)")
 		snapshots = fs.Int("snapshots", 0, "write a surface-velocity PGM every N steps (serial runs, needs -out)")
 		sunwaySim = fs.Bool("sunway", false, "execute through the simulated SW26010 core group and report its timing")
+		tiles     = fs.Int("tiles", 0, "intra-rank kernel tiles fanned across worker goroutines (-1 = auto from GOMAXPROCS, 0/1 = single-threaded; bit-identical results)")
+		overlap   = fs.Bool("overlap", false, "overlap interior compute with the velocity-halo exchange (bit-identical; pays off with -parallel)")
 		progress  = fs.Bool("progress", false, "print step progress and ETA during the run")
 		timing    = fs.Bool("timing", false, "print the per-stage kernel timing breakdown after the run")
 	)
@@ -75,6 +77,7 @@ func run(args []string, w io.Writer) error {
 	cfg, err := buildConfig(*scen, scenario.Overrides{
 		Nx: *nx, Ny: *ny, Nz: *nz, Dx: *dx, Steps: *steps,
 		Nonlinear: *nonlinear, Qs: *qs, QVsScaled: *qVsScaled,
+		Tiles: *tiles, Overlap: *overlap,
 	})
 	if err != nil {
 		return err
@@ -162,6 +165,11 @@ func run(args []string, w io.Writer) error {
 		float64(cfg.Dims.Points())*float64(cfg.Steps)/elapsed.Seconds()/1e6)
 	if res.Perf.Steps > 0 {
 		fmt.Fprintf(w, "perf: %v\n", res.Perf)
+	}
+	if res.Perf.HaloBytes > 0 {
+		fmt.Fprintf(w, "halo traffic: %.1f MB exchanged (%.2f MB/step)\n",
+			float64(res.Perf.HaloBytes)/1e6,
+			float64(res.Perf.HaloBytes)/1e6/float64(res.Perf.Steps))
 	}
 	if res.Sunway != nil {
 		fmt.Fprintf(w, "simulated SW26010 core group: %.2f ms/step, %.1f GB/s effective DMA, LDM peak %d B\n",

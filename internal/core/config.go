@@ -27,6 +27,11 @@ import (
 	"swquake/internal/telemetry"
 )
 
+// AutoTiles asks the engine to pick the tile count from GOMAXPROCS —
+// divided by the rank count under RunParallel so the worker pools of all
+// ranks together match the machine.
+const AutoTiles = -1
+
 // StepEvent describes one completed step of the pipeline, as reported to a
 // StepObserver: how far the run is and how long it has been stepping.
 type StepEvent struct {
@@ -152,6 +157,26 @@ type Config struct {
 	Tracer   *telemetry.Tracer
 	TraceTID int
 
+	// Tiles sets the intra-rank tile parallelism of the kernel stages: each
+	// stage's Region is split into this many sub-boxes (cut along x, then y;
+	// never z, the contiguous axis) and fanned across a bounded worker pool
+	// while the pipeline's stage order — and therefore the result, bit for
+	// bit — is unchanged. 0 or 1 runs the stages single-threaded; AutoTiles
+	// uses GOMAXPROCS (divided by the rank count under RunParallel). The
+	// pool exists only while Run/RunParallel is stepping; a bare Step() is
+	// always single-threaded. Incompatible with SunwaySim, whose core-group
+	// executor is itself the tiling level being modeled.
+	Tiles int
+
+	// Overlap hides velocity-halo latency under RunParallel: the exchange is
+	// posted right after the velocity kernel, the stress-phase stages run on
+	// the block interior while the messages fly, and the boundary shells run
+	// only after the wait (paper §6.2). Bit-identical to the barrier
+	// pipeline by construction (see DESIGN.md §3.5 for the ordering
+	// argument). Requires uncompressed storage; no effect on serial runs
+	// beyond reordering independent work.
+	Overlap bool
+
 	// NoStageTiming disables the per-stage wall-time collectors. Timing is
 	// on by default — its cost is one time.Now per stage boundary, <2% of a
 	// step (see BenchmarkStepTimingOverhead) — and this switch exists to
@@ -209,6 +234,18 @@ func (c *Config) Validate() error {
 	}
 	if c.SunwaySim && c.Compression.Method != compress.Off {
 		return fmt.Errorf("core: SunwaySim does not support compressed storage")
+	}
+	if c.Tiles < AutoTiles {
+		return fmt.Errorf("core: invalid tile count %d", c.Tiles)
+	}
+	if c.SunwaySim && (c.Tiles > 1 || c.Tiles == AutoTiles) {
+		return fmt.Errorf("core: SunwaySim provides its own core-group tiling; Tiles does not apply")
+	}
+	if c.SunwaySim && c.Overlap {
+		return fmt.Errorf("core: SunwaySim requires the barrier pipeline (full-block kernel calls)")
+	}
+	if c.Overlap && c.Compression.Method != compress.Off {
+		return fmt.Errorf("core: overlapped halo exchange requires uncompressed storage")
 	}
 	if c.Compression.Method != compress.Off {
 		if c.Compression.Method != compress.Half && c.Compression.Stats == nil {

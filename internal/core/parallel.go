@@ -187,6 +187,12 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 		}
 	}
 
+	// re-resolve AutoTiles against the rank count so the worker pools of all
+	// ranks together match GOMAXPROCS (New resolved it for a single rank)
+	sim.tiles = effectiveTiles(cfg.Tiles, pg.Size())
+	stopTiling := sim.startTiling()
+	defer stopTiling()
+
 	ex := &haloExchanger{r: r, pg: pg}
 	rankStart := timeNow()
 	for sim.step < cfg.Steps {
@@ -224,6 +230,11 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 			return
 		}
 	}
+	// halo traffic is analytic — HaloBytesPerStep matches the exchanged
+	// byte count exactly for the 9 dynamic fields — so it needs no counter
+	// on the hot path and survives restarts for free (Steps counts only
+	// steps this process executed, which equals exchanges performed)
+	sim.perf.HaloBytes = pg.HaloBytesPerStep(r.ID(), len(FieldNames), fd.Halo) * sim.perf.Steps
 	out.rec = sim.rec
 	out.pgv = sim.pgv
 	out.yielded = sim.yielded
@@ -319,68 +330,150 @@ func parallelCheckpoint(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, sim *Si
 }
 
 // haloExchanger is the RunParallel Exchanger: the 2D halo protocol over the
-// simulated MPI world, tagged per step and phase.
+// simulated MPI world, tagged per step and phase, split into the Start/
+// Finish halves the overlapped pipeline needs. Start posts the y-round
+// (pack + IsendOwned + Irecv) and returns; Finish completes the y-round and
+// then runs the whole x-round, whose face messages carry the corner columns
+// the y-round unpack just filled — the same two-round ordering the old
+// barrier-only exchanger used, so tags and byte layout are unchanged.
+//
+// Pack buffers are recycled through bufs: a sender draws a buffer from its
+// cache and hands ownership across the channel (mpi.IsendOwned, no copy);
+// the receiver unpacks and then keeps the SENDER's buffer in its own cache.
+// Each neighbour pair trades one buffer each way per face per phase, so the
+// flow is balanced and the steady-state exchange allocates nothing.
+//
+// The exchanger is driven by exactly one rank goroutine, so bufs and the
+// pending-phase fields need no locking.
 type haloExchanger struct {
-	r  *mpi.Rank
-	pg *decomp.ProcessGrid
+	r    *mpi.Rank
+	pg   *decomp.ProcessGrid
+	bufs bufCache
+	vel  *pendingPhase
+	str  *pendingPhase
 }
 
-func (h *haloExchanger) ExchangeVelocity(wf *fd.Wavefield, step int) bool {
-	exchangeHalos(h.r, h.pg, wf.VelocityFields(), step*2)
+// pendingPhase is one halo phase in flight between Start and Finish: the
+// fields being exchanged and the y-round requests already posted.
+type pendingPhase struct {
+	fields  []*grid.Field
+	tagBase int
+	sends   []*mpi.Request
+	recvs   []pendingRecv
+}
+
+type pendingRecv struct {
+	face grid.Face
+	req  *mpi.Request
+}
+
+func (h *haloExchanger) StartVelocity(wf *fd.Wavefield, step int) {
+	h.vel = h.startPhase(wf.VelocityFields(), step*2)
+}
+
+func (h *haloExchanger) FinishVelocity(wf *fd.Wavefield, step int) bool {
+	h.finishPhase(h.vel)
+	h.vel = nil
 	return true
 }
 
-func (h *haloExchanger) ExchangeStress(wf *fd.Wavefield, step int) bool {
-	exchangeHalos(h.r, h.pg, wf.StressFields(), step*2+1)
+func (h *haloExchanger) StartStress(wf *fd.Wavefield, step int) {
+	h.str = h.startPhase(wf.StressFields(), step*2+1)
+}
+
+func (h *haloExchanger) FinishStress(wf *fd.Wavefield, step int) bool {
+	h.finishPhase(h.str)
+	h.str = nil
 	return true
 }
 
-// exchangeHalos performs the 2D halo exchange for the given fields: the y
-// direction first, then x (whose face messages then carry valid corner
-// columns). Sends are posted non-blocking so opposite directions overlap.
-func exchangeHalos(r *mpi.Rank, pg *decomp.ProcessGrid, fields []*grid.Field, tagBase int) {
-	phase := func(minus, plus grid.Face, tag int) {
-		var reqs []*mpi.Request
-		type pending struct {
-			face grid.Face
-			req  *mpi.Request
+// startPhase posts the y-round of one exchange phase.
+func (h *haloExchanger) startPhase(fields []*grid.Field, tagBase int) *pendingPhase {
+	p := &pendingPhase{fields: fields, tagBase: tagBase}
+	p.sends, p.recvs = h.postRound(fields, grid.FaceYMinus, grid.FaceYPlus, tagBase*4)
+	return p
+}
+
+// finishPhase completes the y-round, then runs the x-round start to end.
+// The x-round cannot be posted before the y-round unpack: its face messages
+// include the corner columns the y-round delivers.
+func (h *haloExchanger) finishPhase(p *pendingPhase) {
+	h.completeRound(p.fields, p.sends, p.recvs)
+	sends, recvs := h.postRound(p.fields, grid.FaceXMinus, grid.FaceXPlus, p.tagBase*4+1)
+	h.completeRound(p.fields, sends, recvs)
+}
+
+// postRound packs and posts the non-blocking sends and receives for one
+// direction pair.
+func (h *haloExchanger) postRound(fields []*grid.Field, minus, plus grid.Face, tag int) ([]*mpi.Request, []pendingRecv) {
+	var sends []*mpi.Request
+	var recvs []pendingRecv
+	for _, face := range []grid.Face{minus, plus} {
+		nb, ok := h.pg.Neighbor(h.r.ID(), face)
+		if !ok {
+			continue
 		}
-		var recvs []pending
-		for _, face := range []grid.Face{minus, plus} {
-			nb, ok := pg.Neighbor(r.ID(), face)
-			if !ok {
-				continue
-			}
-			buf := packFields(fields, face)
-			reqs = append(reqs, r.Isend(nb, tag, buf))
-			recvs = append(recvs, pending{face: face, req: r.Irecv(nb, tag)})
-		}
-		for _, p := range recvs {
-			data := p.req.Wait()
-			unpackFields(fields, p.face, data)
-		}
-		for _, q := range reqs {
-			q.Wait()
-		}
+		buf := h.bufs.get(haloLen(fields, face))
+		packFields(fields, face, buf)
+		sends = append(sends, h.r.IsendOwned(nb, tag, buf))
+		recvs = append(recvs, pendingRecv{face: face, req: h.r.Irecv(nb, tag)})
 	}
-	phase(grid.FaceYMinus, grid.FaceYPlus, tagBase*4)
-	phase(grid.FaceXMinus, grid.FaceXPlus, tagBase*4+1)
+	return sends, recvs
 }
 
-// packFields concatenates each field's boundary halo for the face.
-func packFields(fields []*grid.Field, face grid.Face) []float32 {
+// completeRound waits for the receives, unpacks them (recycling the arrived
+// buffers), and drains the send requests.
+func (h *haloExchanger) completeRound(fields []*grid.Field, sends []*mpi.Request, recvs []pendingRecv) {
+	for _, p := range recvs {
+		data := p.req.Wait()
+		unpackFields(fields, p.face, data)
+		h.bufs.put(data)
+	}
+	for _, q := range sends {
+		q.Wait()
+	}
+}
+
+// bufCache recycles pack buffers by length. Single-threaded: each rank owns
+// one cache inside its exchanger.
+type bufCache struct {
+	free map[int][][]float32
+}
+
+func (c *bufCache) get(n int) []float32 {
+	if l := c.free[n]; len(l) > 0 {
+		buf := l[len(l)-1]
+		c.free[n] = l[:len(l)-1]
+		return buf
+	}
+	return make([]float32, n)
+}
+
+func (c *bufCache) put(buf []float32) {
+	if c.free == nil {
+		c.free = make(map[int][][]float32)
+	}
+	c.free[len(buf)] = append(c.free[len(buf)], buf)
+}
+
+// haloLen sums the fields' halo lengths for the face.
+func haloLen(fields []*grid.Field, face grid.Face) int {
 	n := 0
 	for _, f := range fields {
 		n += f.HaloLen(face)
 	}
-	buf := make([]float32, n)
+	return n
+}
+
+// packFields concatenates each field's boundary halo for the face into buf,
+// which must have exactly haloLen(fields, face) elements.
+func packFields(fields []*grid.Field, face grid.Face, buf []float32) {
 	off := 0
 	for _, f := range fields {
 		l := f.HaloLen(face)
 		f.PackHalo(face, buf[off:off+l])
 		off += l
 	}
-	return buf
 }
 
 // unpackFields writes a received buffer into the ghost layers of the face.

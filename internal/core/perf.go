@@ -21,8 +21,14 @@ type Perf struct {
 	StressPoints     int64
 	PlasticityPoints int64
 	SpongePoints     int64
-	Steps            int64
-	Elapsed          time.Duration
+	// HaloBytes is the halo traffic this rank exchanged over the run: bytes
+	// sent plus received across all faces and both per-step phases
+	// (decomp.ProcessGrid.HaloBytesPerStep times the executed steps). Zero
+	// for serial runs; summed across ranks by AddCounters so the merged Perf
+	// reports the run's total wire traffic.
+	HaloBytes int64
+	Steps     int64
+	Elapsed   time.Duration
 }
 
 // AddCounters folds another rank's kernel-point counters into p.
@@ -38,6 +44,7 @@ func (p *Perf) AddCounters(o Perf) {
 	p.StressPoints += o.StressPoints
 	p.PlasticityPoints += o.PlasticityPoints
 	p.SpongePoints += o.SpongePoints
+	p.HaloBytes += o.HaloBytes
 }
 
 // Flops returns the counted floating-point operations.

@@ -5,7 +5,7 @@ import (
 
 	"swquake/internal/cgexec"
 	"swquake/internal/fd"
-	"swquake/internal/plasticity"
+	"swquake/internal/grid"
 	"swquake/internal/telemetry"
 )
 
@@ -19,72 +19,100 @@ import (
 //
 // Every runner (serial Run, RunParallel) and every execution strategy of
 // Fig. 7 (host kernels, the simulated SW26010 core group, compressed
-// storage) drives this sequence through two seams:
+// storage, tiled workers, overlapped halos) drives this sequence through
+// two seams:
 //
 //   - Exchanger: what happens to ghost layers between the kernel phases —
 //     nothing in a serial run, the simulated-MPI halo protocol under
-//     RunParallel (including the compressed-mode decoded-ghost handshake);
-//   - Backend: how the velocity/stress kernels execute over a z-slab —
-//     the plain Go kernels or the tile-by-tile cgexec core group.
+//     RunParallel (including the compressed-mode decoded-ghost handshake).
+//     The interface splits each exchange into Start (post the sends and
+//     receives) and Finish (wait and unpack), which is what lets the
+//     overlapped pipeline compute the block interior while velocity-halo
+//     messages are in flight (paper §6.2);
+//   - Backend: how the velocity/stress kernels execute over a Region —
+//     the plain Go kernels, the same fanned across a tile pool
+//     (TiledBackend), or the tile-by-tile cgexec core group.
 //
 // Compressed storage plugs in around the same sequence: fields are decoded
 // before the velocity phase, the velocities are round-tripped through the
 // codecs before the stress phase reads them (Fig. 5b), and everything is
 // re-encoded after the sponge, slab by slab.
 
-// Exchanger updates ghost layers between the pipeline's kernel phases. The
-// methods report whether ghost data may have changed, so compressed storage
+// Exchanger updates ghost layers between the pipeline's kernel phases.
+// Each exchange is split into a Start half, which posts the outgoing halo
+// messages and the matching receives, and a Finish half, which blocks until
+// the messages have arrived and unpacks them into the ghost layers. The
+// barrier pipeline calls Start and Finish back to back; the overlapped
+// pipeline runs interior stress-phase work between the velocity pair.
+// Finish reports whether ghost data may have changed, so compressed storage
 // knows to re-encode exchanged planes.
+//
+// Start and Finish of one phase must be called in pairs, in order; an
+// implementation may buffer state for the in-flight phase between them.
 type Exchanger interface {
-	// ExchangeVelocity refreshes velocity ghosts after the velocity kernel.
-	ExchangeVelocity(wf *fd.Wavefield, step int) bool
-	// ExchangeStress refreshes stress ghosts after the stress-phase stages.
-	ExchangeStress(wf *fd.Wavefield, step int) bool
+	// StartVelocity posts the velocity-halo exchange after the velocity
+	// kernel. The wavefield's owned velocity boundary must be final when it
+	// is called; ghost layers may still be mutated (free surface imaging)
+	// between Start and Finish.
+	StartVelocity(wf *fd.Wavefield, step int)
+	// FinishVelocity completes the velocity-halo exchange: ghost layers are
+	// up to date when it returns.
+	FinishVelocity(wf *fd.Wavefield, step int) bool
+	// StartStress posts the stress-halo exchange after the stress-phase
+	// stages.
+	StartStress(wf *fd.Wavefield, step int)
+	// FinishStress completes the stress-halo exchange.
+	FinishStress(wf *fd.Wavefield, step int) bool
 }
 
 // NoExchange is the serial Exchanger: ghost layers are governed by the free
 // surface and the zero lateral boundaries alone, as a single-block run wants.
 type NoExchange struct{}
 
-func (NoExchange) ExchangeVelocity(*fd.Wavefield, int) bool { return false }
-func (NoExchange) ExchangeStress(*fd.Wavefield, int) bool   { return false }
+func (NoExchange) StartVelocity(*fd.Wavefield, int)       {}
+func (NoExchange) FinishVelocity(*fd.Wavefield, int) bool { return false }
+func (NoExchange) StartStress(*fd.Wavefield, int)         {}
+func (NoExchange) FinishStress(*fd.Wavefield, int) bool   { return false }
 
-// Backend executes one kernel phase over the z-slab [k0,k1) — the seam
-// between the step pipeline and the machine the kernels run on.
+// Backend executes one kernel phase over a Region of the block — the seam
+// between the step pipeline and the machine the kernels run on. The barrier
+// pipeline passes full-x/y slab regions; the overlapped pipeline passes the
+// block interior and its boundary shells; TiledBackend further splits
+// whatever it is given.
 type Backend interface {
-	Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int)
-	Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int)
+	Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, reg grid.Region)
+	Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, reg grid.Region)
 }
 
-// hostBackend runs the plain full-grid Go kernels.
+// hostBackend runs the plain Go region kernels.
 type hostBackend struct{}
 
-func (hostBackend) Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
-	fd.UpdateVelocity(wf, med, dtdx, k0, k1)
+func (hostBackend) Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, reg grid.Region) {
+	fd.UpdateVelocityRegion(wf, med, dtdx, reg)
 }
 
-func (hostBackend) Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
-	fd.UpdateStress(wf, med, dtdx, k0, k1)
+func (hostBackend) Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, reg grid.Region) {
+	fd.UpdateStressRegion(wf, med, dtdx, reg)
 }
 
 // cgBackend runs the kernels tile-by-tile through the simulated SW26010
 // core group. The executor processes the whole block per call, so it needs
-// full-depth slabs — guaranteed by Config.Validate, which rejects SunwaySim
-// combined with compressed (slabbed) storage.
+// the full region — guaranteed by Config.Validate, which rejects SunwaySim
+// combined with compressed (slabbed) storage, Tiles and Overlap.
 type cgBackend struct{ ex *cgexec.Executor }
 
-func (b cgBackend) Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
-	if k0 != 0 || k1 != wf.D.Nz {
-		panic("core: cgexec backend requires full-depth slabs")
+func (b cgBackend) Velocity(wf *fd.Wavefield, med *fd.Medium, dtdx float32, reg grid.Region) {
+	if reg != grid.Box(wf.D) {
+		panic("core: cgexec backend requires full-block regions")
 	}
 	if err := b.ex.VelocityStep(wf, med, dtdx); err != nil {
 		panic(err) // construction validated the block; cannot happen
 	}
 }
 
-func (b cgBackend) Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, k0, k1 int) {
-	if k0 != 0 || k1 != wf.D.Nz {
-		panic("core: cgexec backend requires full-depth slabs")
+func (b cgBackend) Stress(wf *fd.Wavefield, med *fd.Medium, dtdx float32, reg grid.Region) {
+	if reg != grid.Box(wf.D) {
+		panic("core: cgexec backend requires full-block regions")
 	}
 	if err := b.ex.StressStep(wf, med, dtdx); err != nil {
 		panic(err)
@@ -117,7 +145,9 @@ func (s *Simulator) stepWith(ex Exchanger) {
 
 // stepPipeline runs the stage sequence once. Slabs are the whole depth for
 // plain storage and CompressionConfig.SlabHeight in compressed mode, where
-// each slab is decoded, computed on and re-encoded (Fig. 5c).
+// each slab is decoded, computed on and re-encoded (Fig. 5c). When
+// Config.Overlap is set (uncompressed only, enforced by Validate) the
+// overlapped variant below runs instead.
 //
 // Every stage charges its wall time to the simulator's StageClock through a
 // chained stopwatch (one time.Now per stage boundary, nothing at all when
@@ -125,9 +155,14 @@ func (s *Simulator) stepWith(ex Exchanger) {
 func (s *Simulator) stepPipeline(ex Exchanger) {
 	s.countKernels()
 	dtdx := float32(s.Cfg.Dt / s.Cfg.Dx)
-	nz := s.Cfg.Dims.Nz
-	slab := nz
 	sw := s.stages.Stopwatch()
+	if s.Cfg.Overlap && s.comp == nil {
+		s.stepOverlapped(ex, dtdx, &sw)
+		return
+	}
+	d := s.Cfg.Dims
+	nz := d.Nz
+	slab := nz
 	if s.comp != nil {
 		slab = s.comp.slab
 		s.compDecodeAll()
@@ -138,14 +173,15 @@ func (s *Simulator) stepPipeline(ex Exchanger) {
 	fd.ApplyFreeSurface(s.WF)
 	sw.Lap(telemetry.StageFreeSurface)
 	for k0 := 0; k0 < nz; k0 += slab {
-		s.backend.Velocity(s.WF, s.Med, dtdx, k0, minI(k0+slab, nz))
+		s.backend.Velocity(s.WF, s.Med, dtdx, grid.FullXY(d, k0, minI(k0+slab, nz)))
 	}
 	sw.Lap(telemetry.StageVelocity)
 	if s.comp != nil {
 		s.compRoundtripVelocities()
 		sw.Lap(telemetry.StageCompression)
 	}
-	ex.ExchangeVelocity(s.WF, s.step)
+	ex.StartVelocity(s.WF, s.step)
+	ex.FinishVelocity(s.WF, s.step)
 	sw.Lap(telemetry.StageHaloVelocity)
 
 	// stress phase
@@ -156,36 +192,127 @@ func (s *Simulator) stepPipeline(ex Exchanger) {
 		sw.Lap(telemetry.StageAttenuation)
 	}
 	for k0 := 0; k0 < nz; k0 += slab {
-		k1 := minI(k0+slab, nz)
-		s.backend.Stress(s.WF, s.Med, dtdx, k0, k1)
-		sw.Lap(telemetry.StageStress)
-		if s.sls != nil {
-			s.sls.After(s.WF, s.Cfg.Dt, k0, k1)
-			sw.Lap(telemetry.StageAttenuation)
-		}
-		s.srcs.Inject(s.WF, s.simTime, s.Cfg.Dt, s.Cfg.Dx, k0, k1)
-		sw.Lap(telemetry.StageSource)
-		if s.Plas != nil {
-			s.yielded += int64(plasticity.Apply(s.WF, s.Plas, s.Cfg.Dt, k0, k1))
-			sw.Lap(telemetry.StagePlasticity)
-		}
-		if s.atten != nil {
-			s.atten.Apply(s.WF, k0, k1)
-			sw.Lap(telemetry.StageAttenuation)
-		}
-		if s.sponge != nil {
-			s.sponge.Apply(s.WF, k0, k1)
-			sw.Lap(telemetry.StageSponge)
-		}
+		s.stressPhase(grid.FullXY(d, k0, minI(k0+slab, nz)), dtdx, &sw, true)
 	}
 	if s.comp != nil {
 		s.compStoreAll()
 		sw.Lap(telemetry.StageCompression)
 	}
-	changed := ex.ExchangeStress(s.WF, s.step)
+	ex.StartStress(s.WF, s.step)
+	changed := ex.FinishStress(s.WF, s.step)
 	sw.Lap(telemetry.StageHaloStress)
 	if changed && s.comp != nil {
 		s.compEncodeStressGhosts()
 		sw.Lap(telemetry.StageCompression)
 	}
+}
+
+// stressPhase runs the stress-side stage chain — stress kernel, SLS memory
+// update, source injection, plasticity, attenuation, sponge — over one
+// Region. The barrier pipeline calls it per z-slab over the full x/y plane;
+// the overlapped pipeline calls it on the interior and then on each boundary
+// shell. Every stage except source injection fans across the tile pool
+// (nil-safe: a serial simulator runs inline); injection walks the short
+// source list serially so co-located sources keep their order.
+//
+// withSponge controls whether the sponge runs as part of the chain. The
+// sponge is the one stage here that writes VELOCITIES, which neighbouring
+// stress stencils read — so the overlapped pipeline, whose regions run at
+// different times, must pass false and damp the whole block once at the end.
+func (s *Simulator) stressPhase(reg grid.Region, dtdx float32, sw *telemetry.Stopwatch, withSponge bool) {
+	s.backend.Stress(s.WF, s.Med, dtdx, reg)
+	sw.Lap(telemetry.StageStress)
+	if s.sls != nil {
+		s.pool.fan(reg, func(r grid.Region) { s.sls.AfterRegion(s.WF, s.Cfg.Dt, r) })
+		sw.Lap(telemetry.StageAttenuation)
+	}
+	s.srcs.InjectRegion(s.WF, s.simTime, s.Cfg.Dt, s.Cfg.Dx, reg)
+	sw.Lap(telemetry.StageSource)
+	if s.Plas != nil {
+		s.yielded += s.fanPlasticity(reg)
+		sw.Lap(telemetry.StagePlasticity)
+	}
+	if s.atten != nil {
+		s.pool.fan(reg, func(r grid.Region) { s.atten.ApplyRegion(s.WF, r) })
+		sw.Lap(telemetry.StageAttenuation)
+	}
+	if withSponge && s.sponge != nil {
+		s.pool.fan(reg, func(r grid.Region) { s.sponge.ApplyRegion(s.WF, r) })
+		sw.Lap(telemetry.StageSponge)
+	}
+}
+
+// stepOverlapped is the communication-hiding variant of the stage sequence
+// (paper §6.2): the velocity-halo exchange is POSTED right after the
+// velocity kernel, the stress-phase stages run on the block interior —
+// which reads only owned velocity values — while the messages fly, and the
+// boundary shells (whose stencils reach into the ghost layers) run only
+// after the wait. It is bit-identical to the barrier pipeline:
+//
+//   - StartVelocity packs the y faces before the second free-surface pass,
+//     exactly when the barrier exchange would, so y-round bytes match.
+//   - The x-round (inside FinishVelocity) packs after the owned-column free
+//     surface has run, so its k<0 entries differ from barrier mode on the
+//     wire — but the receiver immediately re-images its ghost frame from
+//     the unpacked k>=0 values (the four ApplyFreeSurfaceCols calls below),
+//     overwriting exactly those entries with the values barrier mode would
+//     have delivered.
+//   - The interior region keeps fd.Halo columns away from every block edge,
+//     so interior stress stencils never read a ghost value, and the stage
+//     chain (SLS, plasticity, attenuation) writes only the stress fields of
+//     its own cells — which no stress stencil of another region reads — so
+//     interior-then-shell ordering cannot change any result bit. The sponge
+//     is the exception: it damps VELOCITIES, which shell stress stencils
+//     read from interior cells, so it is held back and applied to the whole
+//     block once, after the shells — exactly where the barrier pipeline's
+//     full-box chain runs it.
+//   - The stress exchange stays back-to-back: the NEXT step's first
+//     free-surface pass reads stress ghosts, so there is no interior work
+//     to hide it behind, and leaving sends outstanding would interleave
+//     with the checkpoint gather's ordered per-pair queues.
+func (s *Simulator) stepOverlapped(ex Exchanger, dtdx float32, sw *telemetry.Stopwatch) {
+	d := s.Cfg.Dims
+	h := fd.Halo
+
+	fd.ApplyFreeSurface(s.WF)
+	sw.Lap(telemetry.StageFreeSurface)
+	s.backend.Velocity(s.WF, s.Med, dtdx, grid.Box(d))
+	sw.Lap(telemetry.StageVelocity)
+	ex.StartVelocity(s.WF, s.step)
+	sw.Lap(telemetry.StageHaloVelocity)
+
+	// owned-column free surface; the ghost frame is imaged after the wait
+	fd.ApplyFreeSurfaceCols(s.WF, 0, d.Nx, 0, d.Ny)
+	sw.Lap(telemetry.StageFreeSurface)
+	if s.sls != nil {
+		// full snapshot, including boundary cells: After only ever reads the
+		// snapshot at the cells it updates, so taking it before the shells
+		// are computed is safe
+		s.sls.Before(s.WF)
+		sw.Lap(telemetry.StageAttenuation)
+	}
+	s.stressPhase(s.ovInterior, dtdx, sw, false)
+
+	ex.FinishVelocity(s.WF, s.step)
+	sw.Lap(telemetry.StageHaloWait)
+	// image the ghost frame now that exchanged columns are in place: the two
+	// x strips (full y extent, covering the corners) and the two remaining
+	// y strips tile exactly the frame ApplyFreeSurface would touch beyond
+	// the owned columns
+	fd.ApplyFreeSurfaceCols(s.WF, -h, 0, -h, d.Ny+h)
+	fd.ApplyFreeSurfaceCols(s.WF, d.Nx, d.Nx+h, -h, d.Ny+h)
+	fd.ApplyFreeSurfaceCols(s.WF, 0, d.Nx, -h, 0)
+	fd.ApplyFreeSurfaceCols(s.WF, 0, d.Nx, d.Ny, d.Ny+h)
+	sw.Lap(telemetry.StageFreeSurface)
+	for _, shell := range s.ovShells {
+		s.stressPhase(shell, dtdx, sw, false)
+	}
+	if s.sponge != nil {
+		s.pool.fan(grid.Box(d), func(r grid.Region) { s.sponge.ApplyRegion(s.WF, r) })
+		sw.Lap(telemetry.StageSponge)
+	}
+
+	ex.StartStress(s.WF, s.step)
+	ex.FinishStress(s.WF, s.step)
+	sw.Lap(telemetry.StageHaloStress)
 }

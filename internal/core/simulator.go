@@ -9,7 +9,9 @@ import (
 	"swquake/internal/cgexec"
 	"swquake/internal/checkpoint"
 	"swquake/internal/compress"
+	"swquake/internal/decomp"
 	"swquake/internal/fd"
+	"swquake/internal/grid"
 	"swquake/internal/model"
 	"swquake/internal/plasticity"
 	"swquake/internal/seismo"
@@ -34,6 +36,17 @@ type Simulator struct {
 	pgv     *seismo.PGVField
 	srcs    source.Set
 	comp    *compressedState
+
+	// tiles is the resolved intra-rank tile count (effectiveTiles); pool is
+	// the live worker pool, attached only while Run/RunParallel is stepping
+	// (startTiling). A nil pool executes every fan inline.
+	tiles int
+	pool  *tilePool
+	// ovInterior/ovShells are the precomputed overlap decomposition of the
+	// block: the interior (stencils never reach a ghost layer) and the four
+	// boundary shells, used by stepOverlapped when Cfg.Overlap is set.
+	ovInterior grid.Region
+	ovShells   []grid.Region
 
 	step    int
 	simTime float64
@@ -126,7 +139,11 @@ func New(cfg Config) (*Simulator, error) {
 		s.cgx = ex
 		s.backend = cgBackend{ex}
 	} else {
-		s.backend = hostBackend{}
+		s.backend = &TiledBackend{Inner: hostBackend{}}
+	}
+	s.tiles = effectiveTiles(cfg.Tiles, 1)
+	if cfg.Overlap {
+		s.ovInterior, s.ovShells = decomp.InteriorShell(cfg.Dims, fd.Halo)
 	}
 	return s, nil
 }
@@ -239,6 +256,8 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 		}
 	}
 	res := &Result{Recorder: s.rec, PGV: s.pgv, Dt: s.Cfg.Dt, Sim: s}
+	stopTiling := s.startTiling()
+	defer stopTiling()
 	runStart := timeNow()
 	for s.step < s.Cfg.Steps {
 		if ctx.Err() != nil {

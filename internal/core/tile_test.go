@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"swquake/internal/compress"
+	"swquake/internal/decomp"
+	"swquake/internal/fd"
+	"swquake/internal/grid"
+)
+
+// fullPhysicsConfig stacks plasticity, SLS attenuation and the sponge on the
+// heterogeneous model — everything the step pipeline runs, minus compressed
+// storage (which Overlap excludes by design).
+func fullPhysicsConfig() Config {
+	cfg := heterogeneousConfig()
+	cfg.Nonlinear = true
+	cfg.Plasticity = PlasticityConfig{
+		Cohesion:      5e4,
+		FrictionAngle: 30 * math.Pi / 180,
+		Lithostatic:   true,
+	}
+	cfg.Attenuation = AttenuationConfig{Enabled: true, UseSLS: true, F0: 3, Qp: 60, Qs: 30}
+	return cfg
+}
+
+// requireIdenticalResults compares traces, PGV and yield counts bit-exactly.
+func requireIdenticalResults(t *testing.T, label string, ref, got *Result, cfg Config) {
+	t.Helper()
+	if ref.YieldedPointSteps != got.YieldedPointSteps {
+		t.Fatalf("%s: yield counts differ: %d vs %d", label, ref.YieldedPointSteps, got.YieldedPointSteps)
+	}
+	for _, name := range []string{"S1", "S2"} {
+		a, b := ref.Recorder.Trace(name), got.Recorder.Trace(name)
+		if b == nil || len(a.U) != len(b.U) {
+			t.Fatalf("%s: trace %s shape mismatch", label, name)
+		}
+		for i := range a.U {
+			if a.U[i] != b.U[i] || a.V[i] != b.V[i] || a.W[i] != b.W[i] {
+				t.Fatalf("%s: diverges at %s sample %d: %g vs %g",
+					label, name, i, a.U[i], b.U[i])
+			}
+		}
+	}
+	for i := 0; i < cfg.Dims.Nx; i++ {
+		for j := 0; j < cfg.Dims.Ny; j++ {
+			if ref.PGV.At(i, j) != got.PGV.At(i, j) {
+				t.Fatalf("%s: PGV differs at (%d,%d)", label, i, j)
+			}
+		}
+	}
+}
+
+// TestTiledAndOverlappedMatchSerial is the acceptance gate of the region
+// engine: every combination of intra-rank tiling and overlapped halo
+// exchange, serial and under simulated MPI, must be bit-identical to the
+// plain serial full-physics run. Run under -race (make check) this also
+// proves the tile fan and the Start/Finish exchange are data-race free.
+func TestTiledAndOverlappedMatchSerial(t *testing.T) {
+	base := fullPhysicsConfig()
+	refSim, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := []struct {
+		label   string
+		tiles   int
+		overlap bool
+		mx, my  int // 0,0 = serial
+	}{
+		{"serial tiles=3", 3, false, 0, 0},
+		{"serial tiles=auto", AutoTiles, false, 0, 0},
+		{"serial overlap", 0, true, 0, 0},
+		{"serial tiles=4 overlap", 4, true, 0, 0},
+		{"parallel 2x2 tiles=2", 2, false, 2, 2},
+		{"parallel 2x2 overlap", 0, true, 2, 2},
+		{"parallel 2x2 tiles=2 overlap", 2, true, 2, 2},
+		{"parallel 1x4 tiles=auto overlap", AutoTiles, true, 1, 4},
+	}
+	for _, v := range variants {
+		cfg := base
+		cfg.Tiles = v.tiles
+		cfg.Overlap = v.overlap
+		var got *Result
+		if v.mx == 0 {
+			sim, err := New(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", v.label, err)
+			}
+			if got, err = sim.Run(); err != nil {
+				t.Fatalf("%s: %v", v.label, err)
+			}
+		} else {
+			var err error
+			if got, err = RunParallel(cfg, v.mx, v.my); err != nil {
+				t.Fatalf("%s: %v", v.label, err)
+			}
+		}
+		requireIdenticalResults(t, v.label, ref, got, cfg)
+	}
+}
+
+// TestTilesOverlapValidation: Overlap requires uncompressed storage (the
+// slab decode/encode cycle leaves no interior to hide the exchange behind),
+// and SunwaySim requires full-block kernel calls.
+func TestTilesOverlapValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Tiles = -2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Tiles=-2 accepted")
+	}
+	cfg = baseConfig()
+	cfg.Overlap = true
+	cfg.Compression.Method = compress.Half
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Overlap+compression accepted")
+	}
+	cfg = baseConfig()
+	cfg.SunwaySim = true
+	cfg.Tiles = 4
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("SunwaySim+Tiles accepted")
+	}
+	cfg = baseConfig()
+	cfg.SunwaySim = true
+	cfg.Overlap = true
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("SunwaySim+Overlap accepted")
+	}
+}
+
+func TestEffectiveTiles(t *testing.T) {
+	cases := []struct {
+		cfg, ranks, want int
+	}{
+		{0, 1, 1},
+		{1, 1, 1},
+		{6, 1, 6},
+		{6, 4, 6}, // explicit counts are per rank, not divided
+	}
+	for _, c := range cases {
+		if got := effectiveTiles(c.cfg, c.ranks); got != c.want {
+			t.Errorf("effectiveTiles(%d, %d) = %d, want %d", c.cfg, c.ranks, got, c.want)
+		}
+	}
+	// AutoTiles: at least 1, and never more than GOMAXPROCS per rank
+	if got := effectiveTiles(AutoTiles, 1); got < 1 {
+		t.Fatalf("auto tiles %d", got)
+	}
+	if got := effectiveTiles(AutoTiles, 1<<20); got != 1 {
+		t.Fatalf("auto tiles with huge rank count = %d, want 1", got)
+	}
+}
+
+// TestTilePoolFan: the pool must run every tile exactly once and join
+// before returning, for region shapes from empty to larger than the pool.
+func TestTilePoolFan(t *testing.T) {
+	pool := newTilePool(4)
+	defer pool.Close()
+	box := grid.Box(grid.Dims{Nx: 9, Ny: 7, Nz: 5})
+
+	var mu sync.Mutex
+	covered := int64(0)
+	pool.fan(box, func(r grid.Region) {
+		mu.Lock()
+		covered += r.Points()
+		mu.Unlock()
+	})
+	if covered != box.Points() {
+		t.Fatalf("fan covered %d points of %d", covered, box.Points())
+	}
+
+	ran := false
+	pool.fan(grid.Region{}, func(grid.Region) { ran = true })
+	if ran {
+		t.Fatal("fan ran a callback on an empty region")
+	}
+
+	// nil pool: inline execution
+	var nilPool *tilePool
+	calls := 0
+	nilPool.fan(box, func(grid.Region) { calls++ })
+	if calls != 1 {
+		t.Fatalf("nil pool made %d calls", calls)
+	}
+}
+
+// TestBufCacheRecycles: get must hand back a previously put buffer of the
+// same length instead of allocating.
+func TestBufCacheRecycles(t *testing.T) {
+	var c bufCache
+	a := c.get(64)
+	if len(a) != 64 {
+		t.Fatalf("got %d-elem buffer", len(a))
+	}
+	c.put(a)
+	b := c.get(64)
+	if &a[0] != &b[0] {
+		t.Fatal("cache did not recycle the buffer")
+	}
+	if d := c.get(64); &d[0] == &b[0] {
+		t.Fatal("cache handed out the same buffer twice")
+	}
+	// different length: fresh allocation, no cross-contamination
+	if e := c.get(32); len(e) != 32 {
+		t.Fatalf("got %d-elem buffer for 32", len(e))
+	}
+}
+
+// TestParallelHaloBytesReported: Result.Perf.HaloBytes must equal the
+// analytic per-rank traffic summed over ranks and steps, and stay zero for
+// serial runs.
+func TestParallelHaloBytesReported(t *testing.T) {
+	cfg := heterogeneousConfig()
+
+	serialSim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Perf.HaloBytes != 0 {
+		t.Fatalf("serial run reports %d halo bytes", serial.Perf.HaloBytes)
+	}
+
+	par, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := decomp.NewProcessGrid(cfg.Dims.Nx, cfg.Dims.Ny, cfg.Dims.Nz, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for rank := 0; rank < pg.Size(); rank++ {
+		want += pg.HaloBytesPerStep(rank, len(FieldNames), fd.Halo) * int64(cfg.Steps)
+	}
+	if par.Perf.HaloBytes != want {
+		t.Fatalf("parallel halo bytes %d, want %d", par.Perf.HaloBytes, want)
+	}
+	if par.Perf.HaloBytes <= 0 {
+		t.Fatal("halo traffic not accounted")
+	}
+}

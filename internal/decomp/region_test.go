@@ -1,0 +1,62 @@
+package decomp
+
+import (
+	"testing"
+
+	"swquake/internal/grid"
+)
+
+func TestInteriorShellTilesBlock(t *testing.T) {
+	cases := []struct {
+		d grid.Dims
+		h int
+	}{
+		{grid.Dims{Nx: 16, Ny: 12, Nz: 8}, 2},
+		{grid.Dims{Nx: 4, Ny: 4, Nz: 3}, 2}, // minimal block with an interior
+		{grid.Dims{Nx: 5, Ny: 9, Nz: 2}, 1},
+	}
+	for _, c := range cases {
+		interior, shells := InteriorShell(c.d, c.h)
+		parts := append([]grid.Region{interior}, shells...)
+		seen := make(map[[3]int]bool)
+		var total int64
+		for _, p := range parts {
+			total += p.Points()
+			for i := p.I0; i < p.I1; i++ {
+				for j := p.J0; j < p.J1; j++ {
+					for k := p.K0; k < p.K1; k++ {
+						cell := [3]int{i, j, k}
+						if seen[cell] {
+							t.Fatalf("%v h=%d: cell %v covered twice", c.d, c.h, cell)
+						}
+						seen[cell] = true
+					}
+				}
+			}
+		}
+		if total != c.d.Points() {
+			t.Fatalf("%v h=%d: parts cover %d points, block has %d", c.d, c.h, total, c.d.Points())
+		}
+		// the interior must keep h columns away from every lateral edge
+		if interior.I0 < c.h || interior.I1 > c.d.Nx-c.h ||
+			interior.J0 < c.h || interior.J1 > c.d.Ny-c.h {
+			t.Fatalf("%v h=%d: interior %v reaches the boundary", c.d, c.h, interior)
+		}
+	}
+}
+
+func TestInteriorShellDegenerate(t *testing.T) {
+	// no halo: the whole block is interior, nothing to wait for
+	interior, shells := InteriorShell(grid.Dims{Nx: 8, Ny: 8, Nz: 4}, 0)
+	if len(shells) != 0 || interior != grid.Box(grid.Dims{Nx: 8, Ny: 8, Nz: 4}) {
+		t.Fatalf("h=0: interior %v shells %v", interior, shells)
+	}
+	// block too thin for an interior: everything is shell
+	interior, shells = InteriorShell(grid.Dims{Nx: 3, Ny: 8, Nz: 4}, 2)
+	if !interior.Empty() {
+		t.Fatalf("thin block: interior %v not empty", interior)
+	}
+	if len(shells) != 1 || shells[0] != grid.Box(grid.Dims{Nx: 3, Ny: 8, Nz: 4}) {
+		t.Fatalf("thin block: shells %v", shells)
+	}
+}

@@ -95,25 +95,10 @@ func NewAttenuation(d grid.Dims, qm QModel, f0, dt float64) *Attenuation {
 }
 
 // Apply damps the stress components over the z-range [k0,k1): diagonal
-// stresses by the P factor, shear stresses by the S factor.
+// stresses by the P factor, shear stresses by the S factor. Thin full-x/y
+// wrapper over ApplyRegion.
 func (a *Attenuation) Apply(wf *Wavefield, k0, k1 int) {
-	d := a.D
-	for i := 0; i < d.Nx; i++ {
-		for j := 0; j < d.Ny; j++ {
-			gp := a.GP.Row(i, j)
-			gs := a.GS.Row(i, j)
-			xx, yy, zz := wf.XX.Row(i, j), wf.YY.Row(i, j), wf.ZZ.Row(i, j)
-			xy, xz, yz := wf.XY.Row(i, j), wf.XZ.Row(i, j), wf.YZ.Row(i, j)
-			for k := k0; k < k1; k++ {
-				xx[k] *= gp[k]
-				yy[k] *= gp[k]
-				zz[k] *= gp[k]
-				xy[k] *= gs[k]
-				xz[k] *= gs[k]
-				yz[k] *= gs[k]
-			}
-		}
-	}
+	a.ApplyRegion(wf, grid.FullXY(a.D, k0, k1))
 }
 
 // TStar returns the attenuation operator t* = distance/(v*Q) implied by a

@@ -1,5 +1,7 @@
 package fd
 
+import "swquake/internal/grid"
+
 // This file contains the three core wave-propagation kernels. They are the
 // Go counterparts of AWP-ODC's most cycle-hungry routines, which the paper
 // names delcx/delcy (velocity), dstrqc (stress) and fstr (free surface).
@@ -24,90 +26,16 @@ const (
 
 // UpdateVelocity advances the three velocity components by one time step
 // over the z-range [k0,k1) using the current stresses (kernel "delc").
-// dtdx is dt/dx.
+// dtdx is dt/dx. Thin full-x/y wrapper over UpdateVelocityRegion.
 func UpdateVelocity(wf *Wavefield, med *Medium, dtdx float32, k0, k1 int) {
-	d := wf.D
-	sx, sy := wf.U.StrideX(), wf.U.StrideY()
-	u, v, w := wf.U.Data, wf.V.Data, wf.W.Data
-	xx, yy, zz := wf.XX.Data, wf.YY.Data, wf.ZZ.Data
-	xy, xz, yz := wf.XY.Data, wf.XZ.Data, wf.YZ.Data
-	rho := med.Rho.Data
-
-	for i := 0; i < d.Nx; i++ {
-		for j := 0; j < d.Ny; j++ {
-			p := wf.U.Idx(i, j, k0)
-			for k := k0; k < k1; k, p = k+1, p+1 {
-				// u at (i+1/2, j, k): rho averaged along x
-				ru := dtdx * 2 / (rho[p] + rho[p+sx])
-				du := C1*(xx[p+sx]-xx[p]) + C2*(xx[p+2*sx]-xx[p-sx]) +
-					C1*(xy[p]-xy[p-sy]) + C2*(xy[p+sy]-xy[p-2*sy]) +
-					C1*(xz[p]-xz[p-1]) + C2*(xz[p+1]-xz[p-2])
-				u[p] += ru * du
-
-				// v at (i, j+1/2, k): rho averaged along y
-				rv := dtdx * 2 / (rho[p] + rho[p+sy])
-				dv := C1*(xy[p]-xy[p-sx]) + C2*(xy[p+sx]-xy[p-2*sx]) +
-					C1*(yy[p+sy]-yy[p]) + C2*(yy[p+2*sy]-yy[p-sy]) +
-					C1*(yz[p]-yz[p-1]) + C2*(yz[p+1]-yz[p-2])
-				v[p] += rv * dv
-
-				// w at (i, j, k+1/2): rho averaged along z
-				rw := dtdx * 2 / (rho[p] + rho[p+1])
-				dw := C1*(xz[p]-xz[p-sx]) + C2*(xz[p+sx]-xz[p-2*sx]) +
-					C1*(yz[p]-yz[p-sy]) + C2*(yz[p+sy]-yz[p-2*sy]) +
-					C1*(zz[p+1]-zz[p]) + C2*(zz[p+2]-zz[p-1])
-				w[p] += rw * dw
-			}
-		}
-	}
+	UpdateVelocityRegion(wf, med, dtdx, grid.FullXY(wf.D, k0, k1))
 }
 
 // UpdateStress advances the six stress components by one time step over the
-// z-range [k0,k1) using the current velocities (kernel "dstrqc").
+// z-range [k0,k1) using the current velocities (kernel "dstrqc"). Thin
+// full-x/y wrapper over UpdateStressRegion.
 func UpdateStress(wf *Wavefield, med *Medium, dtdx float32, k0, k1 int) {
-	d := wf.D
-	sx, sy := wf.U.StrideX(), wf.U.StrideY()
-	u, v, w := wf.U.Data, wf.V.Data, wf.W.Data
-	xx, yy, zz := wf.XX.Data, wf.YY.Data, wf.ZZ.Data
-	xy, xz, yz := wf.XY.Data, wf.XZ.Data, wf.YZ.Data
-	lam, mu := med.Lam.Data, med.Mu.Data
-
-	for i := 0; i < d.Nx; i++ {
-		for j := 0; j < d.Ny; j++ {
-			p := wf.U.Idx(i, j, k0)
-			for k := k0; k < k1; k, p = k+1, p+1 {
-				// velocity gradients at the cell center (i, j, k)
-				vxx := C1*(u[p]-u[p-sx]) + C2*(u[p+sx]-u[p-2*sx])
-				vyy := C1*(v[p]-v[p-sy]) + C2*(v[p+sy]-v[p-2*sy])
-				vzz := C1*(w[p]-w[p-1]) + C2*(w[p+1]-w[p-2])
-
-				l, m := lam[p], mu[p]
-				l2m := l + 2*m
-				tr := vyy + vzz
-				xx[p] += dtdx * (l2m*vxx + l*tr)
-				yy[p] += dtdx * (l2m*vyy + l*(vxx+vzz))
-				zz[p] += dtdx * (l2m*vzz + l*(vxx+vyy))
-
-				// sxy at (i+1/2, j+1/2, k): harmonic mean of mu over 4 pts
-				mxy := harmonic4(mu[p], mu[p+sx], mu[p+sy], mu[p+sx+sy])
-				dxy := C1*(u[p+sy]-u[p]) + C2*(u[p+2*sy]-u[p-sy]) +
-					C1*(v[p+sx]-v[p]) + C2*(v[p+2*sx]-v[p-sx])
-				xy[p] += dtdx * mxy * dxy
-
-				// sxz at (i+1/2, j, k+1/2)
-				mxz := harmonic4(mu[p], mu[p+sx], mu[p+1], mu[p+sx+1])
-				dxz := C1*(u[p+1]-u[p]) + C2*(u[p+2]-u[p-1]) +
-					C1*(w[p+sx]-w[p]) + C2*(w[p+2*sx]-w[p-sx])
-				xz[p] += dtdx * mxz * dxz
-
-				// syz at (i, j+1/2, k+1/2)
-				myz := harmonic4(mu[p], mu[p+sy], mu[p+1], mu[p+sy+1])
-				dyz := C1*(v[p+1]-v[p]) + C2*(v[p+2]-v[p-1]) +
-					C1*(w[p+sy]-w[p]) + C2*(w[p+2*sy]-w[p-sy])
-				yz[p] += dtdx * myz * dyz
-			}
-		}
-	}
+	UpdateStressRegion(wf, med, dtdx, grid.FullXY(wf.D, k0, k1))
 }
 
 // harmonic4 returns the harmonic mean of four moduli, the standard
@@ -124,23 +52,12 @@ func harmonic4(a, b, c, d float32) float32 {
 // grid (kernel "fstr") with the classic image method: the normal and shear
 // tractions are imaged antisymmetrically and the velocities symmetrically
 // into the two ghost layers above k = 0, placing the effective free surface
-// half a cell above the first stress plane.
+// half a cell above the first stress plane. It covers every column
+// including the lateral ghost frame; ApplyFreeSurfaceCols restricts the
+// column range for the overlapped pipeline.
 func ApplyFreeSurface(wf *Wavefield) {
 	d := wf.D
-	for i := -Halo; i < d.Nx+Halo; i++ {
-		for j := -Halo; j < d.Ny+Halo; j++ {
-			for g := 1; g <= Halo; g++ {
-				// antisymmetric tractions
-				wf.ZZ.Set(i, j, -g, -wf.ZZ.At(i, j, g-1))
-				wf.XZ.Set(i, j, -g, -wf.XZ.At(i, j, g-1))
-				wf.YZ.Set(i, j, -g, -wf.YZ.At(i, j, g-1))
-				// symmetric velocities
-				wf.U.Set(i, j, -g, wf.U.At(i, j, g-1))
-				wf.V.Set(i, j, -g, wf.V.At(i, j, g-1))
-				wf.W.Set(i, j, -g, wf.W.At(i, j, g-1))
-			}
-		}
-	}
+	ApplyFreeSurfaceCols(wf, -Halo, d.Nx+Halo, -Halo, d.Ny+Halo)
 }
 
 // Step advances the wavefield one full time step on a single block with a

@@ -81,32 +81,8 @@ func (s *SLS) Before(wf *Wavefield) {
 
 // After evolves the memory variables from the elastic stress increment and
 // applies the anelastic correction; call immediately after UpdateStress
-// (before plasticity, which must see the corrected trial stress).
+// (before plasticity, which must see the corrected trial stress). Thin
+// full-x/y wrapper over AfterRegion.
 func (s *SLS) After(wf *Wavefield, dt float64, k0, k1 int) {
-	ts := s.TauSigma
-	a := float32((2*ts - dt) / (2*ts + dt))
-	b := float32(2 * dt / (2*ts + dt))
-	dtf := float32(dt)
-
-	for c, f := range wf.StressFields() {
-		r := s.R[c]
-		prev := s.prev[c]
-		for i := 0; i < s.D.Nx; i++ {
-			for j := 0; j < s.D.Ny; j++ {
-				row := f.Row(i, j)
-				rRow := r.Row(i, j)
-				pRow := prev.Row(i, j)
-				phiRow := s.Phi.Row(i, j)
-				for k := k0; k < k1; k++ {
-					dsigma := row[k] - pRow[k] // = M_u * strain-rate * dt
-					rOld := rRow[k]
-					// semi-implicit trapezoid for
-					//   dr/dt = -(r + phi*dsigma/dt)/tau_sigma
-					rNew := a*rOld - b*(phiRow[k]*dsigma/dtf)
-					rRow[k] = rNew
-					row[k] += dtf * 0.5 * (rOld + rNew)
-				}
-			}
-		}
-	}
+	s.AfterRegion(wf, dt, grid.FullXY(s.D, k0, k1))
 }

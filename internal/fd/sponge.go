@@ -1,6 +1,10 @@
 package fd
 
-import "math"
+import (
+	"math"
+
+	"swquake/internal/grid"
+)
 
 // Sponge implements Cerjan-style absorbing boundaries: inside a boundary
 // zone of configurable width, every dynamic field is multiplied each step by
@@ -66,18 +70,7 @@ func (s *Sponge) Factor(i, j, k int) float32 {
 }
 
 // Apply multiplies all nine dynamic fields by the damping profile over the
-// z-range [k0,k1).
+// z-range [k0,k1). Thin full-x/y wrapper over ApplyRegion.
 func (s *Sponge) Apply(wf *Wavefield, k0, k1 int) {
-	fields := wf.AllFields()
-	for i := 0; i < s.D.Nx; i++ {
-		for j := 0; j < s.D.Ny; j++ {
-			dRow := s.damp[(i*s.D.Ny+j)*s.D.Nz:]
-			for _, f := range fields {
-				row := f.Row(i, j)
-				for k := k0; k < k1; k++ {
-					row[k] *= dRow[k]
-				}
-			}
-		}
-	}
+	s.ApplyRegion(wf, grid.Region{I1: s.D.Nx, J1: s.D.Ny, K0: k0, K1: k1})
 }

@@ -94,6 +94,19 @@ func (r *Rank) Send(dst, tag int, data []float32) {
 	r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: cp}
 }
 
+// SendOwned delivers data to dst WITHOUT the defensive copy Send makes:
+// ownership of the slice transfers to the receiver, which sees the very
+// backing array the sender filled. The sender must not read or write data
+// after the call (the channel hand-off establishes the happens-before edge
+// that makes the transfer race-free). The halo path uses this with
+// recycled pack buffers to keep the steady-state exchange allocation-free.
+func (r *Rank) SendOwned(dst, tag int, data []float32) {
+	if dst < 0 || dst >= r.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: data}
+}
+
 // Recv receives the next message from src, which must carry the expected
 // tag (messages between a pair are ordered, so a tag mismatch is a protocol
 // bug, reported by panic).
@@ -126,6 +139,24 @@ func (r *Rank) Isend(dst, tag int, data []float32) *Request {
 	copy(cp, data)
 	go func() {
 		r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: cp}
+		req.done <- nil
+	}()
+	return req
+}
+
+// IsendOwned starts a non-blocking send with the SendOwned ownership
+// handoff: no copy is made, the receiver gets the sender's backing array,
+// and the sender must not touch data after the call — not even while the
+// returned Request is pending, since the transfer goroutine reads the
+// slice header only, never the elements, there is no window in which the
+// sender may still use them.
+func (r *Rank) IsendOwned(dst, tag int, data []float32) *Request {
+	if dst < 0 || dst >= r.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	req := &Request{done: make(chan []float32, 1)}
+	go func() {
+		r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: data}
 		req.done <- nil
 	}()
 	return req

@@ -113,9 +113,17 @@ func (p *Params) Yield(i, j, k int, sm float32) float32 {
 
 // Apply performs the yield check and return map over the z-range [k0,k1)
 // (kernels drprecpc_calc + drprecpc_app fused). dt is the time step,
-// used only when Tv > 0. It returns the number of yielded points.
+// used only when Tv > 0. It returns the number of yielded points. Thin
+// full-x/y wrapper over ApplyRegion.
 func Apply(wf *fd.Wavefield, p *Params, dt float64, k0, k1 int) int {
-	d := wf.D
+	return ApplyRegion(wf, p, dt, grid.FullXY(wf.D, k0, k1))
+}
+
+// ApplyRegion is Apply over an arbitrary region. The kernel is per-cell
+// independent (it reads and writes only the cell it stands on), so any
+// disjoint partition yields bit-identical stresses and — because the
+// yielded count is an integer sum — an identical count.
+func ApplyRegion(wf *fd.Wavefield, p *Params, dt float64, r grid.Region) int {
 	xx, yy, zz := wf.XX.Data, wf.YY.Data, wf.ZZ.Data
 	xy, xz, yz := wf.XY.Data, wf.XZ.Data, wf.YZ.Data
 	cohes, sphi, cphi := p.Cohes.Data, p.SinPhi.Data, p.CosPhi.Data
@@ -128,10 +136,10 @@ func Apply(wf *fd.Wavefield, p *Params, dt float64, k0, k1 int) int {
 	}
 
 	yielded := 0
-	for i := 0; i < d.Nx; i++ {
-		for j := 0; j < d.Ny; j++ {
-			q := wf.XX.Idx(i, j, k0)
-			for k := k0; k < k1; k, q = k+1, q+1 {
+	for i := r.I0; i < r.I1; i++ {
+		for j := r.J0; j < r.J1; j++ {
+			q := wf.XX.Idx(i, j, r.K0)
+			for k := r.K0; k < r.K1; k, q = k+1, q+1 {
 				// total stress = initial lithostatic + dynamic perturbation
 				txx := xx[q] + sig2[q]
 				tyy := yy[q] + sig2[q]

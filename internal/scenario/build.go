@@ -20,6 +20,13 @@ type Overrides struct {
 	Qs float64 `json:"qs,omitempty"`
 	// QVsScaled enables Vs-scaled attenuation (takes precedence over Qs).
 	QVsScaled bool `json:"q_vs,omitempty"`
+	// Tiles sets the intra-rank tile parallelism of the kernel stages
+	// (core.Config.Tiles; -1 picks from GOMAXPROCS). Execution detail only:
+	// results are bit-identical at any tile count.
+	Tiles int `json:"tiles,omitempty"`
+	// Overlap enables the communication-hiding pipeline variant
+	// (core.Config.Overlap). Bit-identical too; matters for parallel runs.
+	Overlap bool `json:"overlap,omitempty"`
 }
 
 // Names lists the scenarios Build accepts.
@@ -77,6 +84,12 @@ func Build(name string, o Overrides) (core.Config, error) {
 		cfg.Attenuation = core.AttenuationConfig{Enabled: true, VsScaled: true, Factor: 0.05, F0: 2}
 	case o.Qs > 0:
 		cfg.Attenuation = core.AttenuationConfig{Enabled: true, Qp: 2 * o.Qs, Qs: o.Qs, F0: 2}
+	}
+	if o.Tiles != 0 {
+		cfg.Tiles = o.Tiles
+	}
+	if o.Overlap {
+		cfg.Overlap = true
 	}
 	return cfg, nil
 }

@@ -250,6 +250,7 @@ var counterNames = []string{
 	"jobs_retried", "jobs_recovered", "worker_panics",
 	"journal_events", "checkpoints_saved",
 	"cache_hits", "cache_misses", "steps_done",
+	"halo_bytes",
 }
 
 // New builds a Service and starts its worker pool. It panics when Open
@@ -661,6 +662,9 @@ func (s *Service) runJob(j *job) {
 	}()
 	if res != nil && len(res.Checkpoints) > 0 {
 		s.vars.Add("checkpoints_saved", int64(len(res.Checkpoints)))
+	}
+	if res != nil {
+		s.vars.Add("halo_bytes", res.Perf.HaloBytes)
 	}
 
 	s.vars.Add("jobs_running", -1)
@@ -1097,6 +1101,23 @@ func (s *Service) RegisterProm(reg *telemetry.PromRegistry) {
 	reg.CounterFunc("swquake_cache_hits_total", "Submissions served from the result cache.", counter("cache_hits"))
 	reg.CounterFunc("swquake_cache_misses_total", "Submissions that had to be solved.", counter("cache_misses"))
 	reg.CounterFunc("swquake_steps_total", "Solver steps completed across all jobs (rate() gives steps/sec).", counter("steps_done"))
+	reg.CounterFunc("swquake_halo_bytes_total",
+		"Halo bytes exchanged by parallel jobs (sent+received, all ranks; decomp.HaloBytesPerStep accounting).",
+		counter("halo_bytes"))
+	reg.CounterFunc("swquake_exchange_wait_seconds_total",
+		"Engine wall seconds spent in halo exchange (halo_velocity + halo_stress + halo_wait stages).",
+		func() float64 {
+			var total float64
+			for _, st := range s.StageReport().Stages {
+				switch st.Name {
+				case telemetry.StageHaloVelocity.String(),
+					telemetry.StageHaloStress.String(),
+					telemetry.StageHaloWait.String():
+					total += st.Seconds
+				}
+			}
+			return total
+		})
 
 	reg.GaugeFunc("swquake_jobs_running", "Jobs currently executing on a worker.", counter("jobs_running"))
 	reg.GaugeFunc("swquake_queue_depth", "Jobs currently waiting in the submission queue.",

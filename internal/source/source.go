@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"swquake/internal/fd"
+	"swquake/internal/grid"
 )
 
 // STF is a source-time function: moment rate (N·m/s) as a function of time.
@@ -167,11 +168,21 @@ type Set struct {
 }
 
 // Inject adds every source whose grid point lies in [0,Nx)x[0,Ny)x[k0,k1).
+// Thin full-x/y wrapper over InjectRegion.
 func (s *Set) Inject(wf *fd.Wavefield, t, dt, dx float64, k0, k1 int) {
+	s.InjectRegion(wf, t, dt, dx, grid.FullXY(wf.D, k0, k1))
+}
+
+// InjectRegion adds every source whose grid point lies in the region,
+// preserving list order. A source belongs to exactly one region of any
+// disjoint partition, and co-located sources stay in the same region in the
+// same order, so region-decomposed injection is bit-identical to full-grid
+// injection.
+func (s *Set) InjectRegion(wf *fd.Wavefield, t, dt, dx float64, r grid.Region) {
 	for i := range s.Sources {
 		src := &s.Sources[i]
-		if src.K >= k0 && src.K < k1 &&
-			src.I >= 0 && src.I < wf.D.Nx && src.J >= 0 && src.J < wf.D.Ny {
+		if src.I >= r.I0 && src.I < r.I1 && src.J >= r.J0 && src.J < r.J1 &&
+			src.K >= r.K0 && src.K < r.K1 {
 			src.Inject(wf, t, dt, dx)
 		}
 	}

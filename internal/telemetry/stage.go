@@ -32,6 +32,12 @@ const (
 	StageRecord
 	StageCheckpoint
 	StageDivergence
+	// StageHaloWait is the time a rank blocks on in-flight halo messages in
+	// the overlapped pipeline (Exchanger.Finish* after the interior compute).
+	// The barrier pipeline charges the whole exchange to StageHaloVelocity /
+	// StageHaloStress; overlap splits the posting cost (still charged there)
+	// from the wait, so the report shows how much latency the interior hid.
+	StageHaloWait
 	numStages
 )
 
@@ -40,7 +46,7 @@ const (
 var stageNames = [numStages]string{
 	"free_surface", "velocity", "halo_velocity", "stress", "source",
 	"plasticity", "attenuation", "sponge", "halo_stress", "compression",
-	"record", "checkpoint", "divergence",
+	"record", "checkpoint", "divergence", "halo_wait",
 }
 
 // String returns the stage's report name.
