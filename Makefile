@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench bench-json bench-tiles profile repro fuzz clean serve-smoke crash-test
+.PHONY: all build check vet test race bench bench-json bench-tiles profile repro fuzz clean serve-smoke ensemble-smoke crash-test
 
 all: build check test
 
@@ -8,11 +8,13 @@ build:
 	$(GO) build ./...
 
 # static analysis plus the race-sensitive engine packages (the simulated-MPI
-# world, the step-pipeline drivers, the job service worker pool, the
-# durability layers, and the telemetry collectors) under the race detector
+# world, the step-pipeline drivers, the job service worker pool, the ensemble
+# campaign scheduler, the durability layers, and the telemetry collectors)
+# under the race detector
 check: vet
 	$(GO) test -race ./internal/core/... ./internal/mpi/... ./internal/service/... \
-		./internal/checkpoint/ ./internal/faultinject/ ./internal/telemetry/
+		./internal/ensemble/ ./internal/checkpoint/ ./internal/faultinject/ \
+		./internal/telemetry/
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +69,11 @@ crash-test:
 # through the real HTTP API: submit -> poll -> result -> cache hit -> metrics
 serve-smoke:
 	$(GO) run ./cmd/quaked -selftest
+
+# boot the daemon and run a 3-member quickstart seed-sweep campaign through
+# the real HTTP API: create -> poll -> aggregated hazard maps -> metrics
+ensemble-smoke:
+	$(GO) run ./cmd/quaked -selftest-ensemble
 
 clean:
 	rm -f *.pgm *.swvm *.swq test_output.txt bench_output.txt \

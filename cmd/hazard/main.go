@@ -3,6 +3,12 @@
 // the surface peak ground velocity to Chinese seismic intensity, prints an
 // ASCII hazard map and per-station intensities, and optionally writes PGM
 // images at two resolutions for the paper's coarse-vs-fine comparison.
+//
+// With -ensemble N the command runs a probabilistic sweep instead: N
+// stochastic velocity-heterogeneity realizations (seeds -seed-base,
+// -seed-base+1, ...) of the same scenario, folded online into mean and
+// standard-deviation PGV maps, exceedance probabilities and a mean hazard
+// map — the single-machine counterpart of the quaked /v1/campaigns API.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"path/filepath"
 
 	"swquake/internal/core"
+	"swquake/internal/ensemble"
 	"swquake/internal/grid"
 	"swquake/internal/output"
 	"swquake/internal/scenario"
@@ -36,9 +43,22 @@ func run(args []string) error {
 		nonlinear = fs.Bool("nonlinear", true, "Drucker-Prager plasticity")
 		compare   = fs.Bool("compare", false, "also run at half resolution and compare maps")
 		outDir    = fs.String("out", "", "directory for PGM maps")
+
+		members  = fs.Int("ensemble", 0, "run N stochastic heterogeneity realizations and report ensemble hazard statistics (0 = single deterministic run)")
+		seedBase = fs.Int64("seed-base", 1, "first heterogeneity seed of the ensemble")
+		hetAmp   = fs.Float64("het", 0.05, "RMS fractional velocity perturbation of the ensemble realizations")
+		hetCorr  = fs.Float64("het-corr-len", 0, "heterogeneity correlation length, m (0 = 8 grid spacings)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *members > 0 {
+		return runEnsemble(ensembleParams{
+			nx: *nx, ny: *ny, nz: *nz, dx: *dx, steps: *steps, nonlinear: *nonlinear,
+			members: *members, seedBase: *seedBase, hetAmp: *hetAmp, hetCorr: *hetCorr,
+			outDir: *outDir,
+		})
 	}
 
 	sc := scenario.Tangshan{
@@ -102,6 +122,115 @@ func run(args []string) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+type ensembleParams struct {
+	nx, ny, nz int
+	dx         float64
+	steps      int
+	nonlinear  bool
+	members    int
+	seedBase   int64
+	hetAmp     float64
+	hetCorr    float64
+	outDir     string
+}
+
+// runEnsemble runs the seed sweep serially and folds the members' surface
+// PGV fields online — the same statistics (and, member for member, the
+// same fold order) a quaked campaign over the identical spec produces.
+func runEnsemble(p ensembleParams) error {
+	if p.hetAmp <= 0 {
+		return fmt.Errorf("-ensemble needs -het > 0: identical members carry no hazard information")
+	}
+	thresholds := ensemble.DefaultThresholds
+	var stats *seismo.FieldStats
+	for m := 0; m < p.members; m++ {
+		cfg, err := scenario.Build("tangshan", scenario.Overrides{
+			Nx: p.nx, Ny: p.ny, Nz: p.nz, Dx: p.dx, Steps: p.steps, Nonlinear: p.nonlinear,
+			Seed: p.seedBase + int64(m), HetAmplitude: p.hetAmp, HetCorrLen: p.hetCorr,
+		})
+		if err != nil {
+			return err
+		}
+		sim, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return fmt.Errorf("member %d (seed %d): %w", m, p.seedBase+int64(m), err)
+		}
+		if stats == nil {
+			stats = seismo.NewFieldStats(res.PGV.Nx, res.PGV.Ny, thresholds)
+		}
+		if err := stats.Add(res.PGV.PGV); err != nil {
+			return err
+		}
+		peak := 0.0
+		for _, v := range res.PGV.PGV {
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Printf("member %2d/%d  seed %-6d  peak PGV %8.4g m/s  intensity %.1f\n",
+			m+1, p.members, p.seedBase+int64(m), peak, seismo.Intensity(peak))
+	}
+
+	mean := stats.Mean()
+	std := stats.Std()
+	meanField := &seismo.PGVField{Nx: stats.Nx, Ny: stats.Ny, PGV: mean}
+	fmt.Printf("\nmean hazard map over %d realizations (%dx%d surface, dx=%.0f m, het %.3g):\n",
+		p.members, p.nx, p.ny, p.dx, p.hetAmp)
+	ig := output.IntensityGrid(meanField)
+	output.ASCIIMap(os.Stdout, ig, 64)
+
+	var meanMax, stdMax float64
+	for i := range mean {
+		if mean[i] > meanMax {
+			meanMax = mean[i]
+		}
+		if std[i] > stdMax {
+			stdMax = std[i]
+		}
+	}
+	fmt.Printf("peak mean PGV %.4g m/s (intensity %.1f), peak sigma %.4g m/s\n",
+		meanMax, seismo.Intensity(meanMax), stdMax)
+
+	exceed := stats.ExceedProb()
+	fmt.Printf("%-16s %18s %14s\n", "threshold (m/s)", "max P(exceed)", "area P>=0.5")
+	for k, thr := range thresholds {
+		maxP, hot := 0.0, 0
+		for _, pr := range exceed[k] {
+			if pr > maxP {
+				maxP = pr
+			}
+			if pr >= 0.5 {
+				hot++
+			}
+		}
+		fmt.Printf("%-16.3g %18.2f %13.1f%%\n", thr, maxP,
+			100*float64(hot)/float64(len(exceed[k])))
+	}
+
+	if p.outDir != "" {
+		if err := os.MkdirAll(p.outDir, 0o755); err != nil {
+			return err
+		}
+		if err := output.SavePGM(filepath.Join(p.outDir, "intensity-mean.pgm"), ig, 1, 12); err != nil {
+			return err
+		}
+		for k, thr := range thresholds {
+			pf := &seismo.PGVField{Nx: stats.Nx, Ny: stats.Ny, PGV: exceed[k]}
+			grid := output.PGVGrid(pf)
+			name := fmt.Sprintf("exceed-%.3gms.pgm", thr)
+			if err := output.SavePGM(filepath.Join(p.outDir, name), grid, 0, 1); err != nil {
+				return err
+			}
+		}
+		fmt.Println("maps written to", p.outDir)
 	}
 	return nil
 }

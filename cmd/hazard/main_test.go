@@ -25,3 +25,23 @@ func TestHazardRejectsBadGrid(t *testing.T) {
 		t.Fatal("zero grid accepted")
 	}
 }
+
+func TestHazardEnsembleSweep(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-nx", "20", "-ny", "18", "-nz", "10", "-dx", "1200",
+		"-steps", "30", "-nonlinear=false", "-ensemble", "3", "-seed-base", "7", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"intensity-mean.pgm", "exceed-0.05ms.pgm", "exceed-0.5ms.pgm"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestHazardEnsembleRejectsZeroHet(t *testing.T) {
+	if err := run([]string{"-ensemble", "2", "-het", "0"}); err == nil {
+		t.Fatal("ensemble without heterogeneity accepted")
+	}
+}

@@ -7,32 +7,37 @@ import (
 	"net/http"
 	"time"
 
+	"swquake/internal/ensemble"
 	"swquake/internal/scenario"
 	"swquake/internal/service"
 	"swquake/internal/telemetry"
 )
 
-// server is the HTTP face of the job service. It is an http.Handler so the
-// end-to-end tests can mount it on httptest servers.
+// server is the HTTP face of the job service and the ensemble campaign
+// manager. It is an http.Handler so the end-to-end tests can mount it on
+// httptest servers.
 type server struct {
 	svc   *service.Service
+	mgr   *ensemble.Manager
 	mux   *http.ServeMux
 	start time.Time
 	prom  *telemetry.PromRegistry
 	build telemetry.BuildInfo
 }
 
-func newServer(svc *service.Service) *server {
-	s := &server{svc: svc, mux: http.NewServeMux(), start: time.Now(),
+func newServer(svc *service.Service, mgr *ensemble.Manager) *server {
+	s := &server{svc: svc, mgr: mgr, mux: http.NewServeMux(), start: time.Now(),
 		prom: telemetry.NewPromRegistry(), build: telemetry.ReadBuildInfo()}
 	s.prom.GaugeFunc("swquake_uptime_seconds", "Seconds since the daemon booted.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	svc.RegisterProm(s.prom)
+	mgr.RegisterProm(s.prom)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.registerCampaignRoutes()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -166,8 +171,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	fmt.Fprintf(w, "{\"uptime_s\":%.3f,\"service\":%s}\n",
-		time.Since(s.start).Seconds(), s.svc.Vars().String())
+	fmt.Fprintf(w, "{\"uptime_s\":%.3f,\"service\":%s,\"campaigns\":%s}\n",
+		time.Since(s.start).Seconds(), s.svc.Vars().String(), s.mgr.Vars().String())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

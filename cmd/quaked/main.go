@@ -13,6 +13,19 @@
 //	GET    /v1/jobs/{id}        status: state, steps done/total, ETA
 //	GET    /v1/jobs/{id}/result RunManifest-shaped summary + station traces
 //	DELETE /v1/jobs/{id}        cancel (stops a running job within a step)
+//	POST   /v1/campaigns        submit an ensemble campaign: a base scenario
+//	                            plus sweep axes ({"scenario": "...", "seeds":
+//	                            {"base": 1, "count": 8, "het_amplitude": 0.05},
+//	                            "variations": [{...}, ...]}) expanded into
+//	                            member jobs and aggregated as they finish
+//	GET    /v1/campaigns        list campaigns, newest first
+//	GET    /v1/campaigns/{id}   campaign status: member states, fold progress
+//	DELETE /v1/campaigns/{id}   cancel the campaign and its member jobs
+//	GET    /v1/campaigns/{id}/aggregate
+//	                            online hazard statistics over the members
+//	                            folded so far: mean/std surface-PGV maps,
+//	                            exceedance probabilities per threshold,
+//	                            percentile PGV maps, mean intensity
 //	GET    /healthz             liveness + build info (go version, VCS
 //	                            revision), uptime, pool shape
 //	GET    /metrics             expvar counters: queued/running/done/failed,
@@ -38,7 +51,10 @@
 // running jobs (bounded by -drain-timeout, after which they are canceled
 // at the next step boundary) and exits.
 //
-// With -data DIR the daemon is durable: accepted jobs are journaled to
+// With -data DIR the daemon is durable: accepted jobs AND campaigns are
+// journaled — a rebooted daemon re-folds finished members' persisted PGV
+// fields (bit-identical to the first life) and resumes the rest. Plain
+// durable job behavior: accepted jobs are journaled to
 // DIR/journal.jsonl (fsynced before the submit response), running serial
 // jobs auto-checkpoint under DIR/checkpoints/<job>/, and a reboot with the
 // same -data replays the journal — unfinished jobs are requeued and resume
@@ -62,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"swquake/internal/ensemble"
 	"swquake/internal/faultinject"
 	"swquake/internal/service"
 	"swquake/internal/telemetry"
@@ -84,6 +101,7 @@ func run(args []string) error {
 		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
 		selftest     = fs.Bool("selftest", false, "boot on a random port, run one job through the API, exit")
+		selftestEns  = fs.Bool("selftest-ensemble", false, "boot on a random port, run a 3-member seed-sweep campaign through the API, exit")
 
 		dataDir    = fs.String("data", "", "durable data directory: journal + auto-checkpoints; enables crash recovery on boot")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "auto-checkpoint interval in solver steps for durable jobs (0 = 25, negative disables)")
@@ -143,8 +161,8 @@ func run(args []string) error {
 		Logger:          logger,
 		Tracer:          tracer,
 	}
-	if *selftest {
-		return runSelftest(opts)
+	if *selftest || *selftestEns {
+		return runSelftest(opts, *selftestEns)
 	}
 
 	if *debugAddr != "" {
@@ -167,7 +185,17 @@ func run(args []string) error {
 		m := svc.Metrics()
 		logger.Info("durable mode", "data_dir", *dataDir, "jobs_recovered", m.Recovered)
 	}
+	mgr, err := ensemble.Open(ensemble.Options{
+		Service: svc, DataDir: *dataDir, Logger: logger, Tracer: tracer,
+	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		logger.Info("campaigns durable", "campaigns_recovered", mgr.Metrics().Recovered)
+	}
 	expvar.Publish("quaked", svc.Vars())
+	expvar.Publish("quaked.campaigns", mgr.Vars())
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -175,7 +203,7 @@ func run(args []string) error {
 	logger.Info("quaked listening", "addr", ln.Addr().String(),
 		"workers", svc.Workers(), "queue", svc.QueueSize())
 
-	srv := &http.Server{Handler: newServer(svc)}
+	srv := &http.Server{Handler: newServer(svc, mgr)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -191,6 +219,11 @@ func run(args []string) error {
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
 			logger.Error("http shutdown", "error", err)
+		}
+		// campaigns drain before the service so members finishing during the
+		// window still get folded (or parked for the next boot)
+		if err := mgr.Drain(dctx); err != nil {
+			logger.Warn("campaign drain incomplete, campaigns parked", "error", err)
 		}
 		if err := svc.Drain(dctx); err != nil {
 			logger.Warn("drain incomplete, jobs canceled", "error", err)

@@ -10,17 +10,23 @@ import (
 	"testing"
 	"time"
 
+	"swquake/internal/ensemble"
 	"swquake/internal/service"
 )
 
 func newTestServer(t *testing.T, opts service.Options) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(opts)
-	ts := httptest.NewServer(newServer(svc))
+	mgr, err := ensemble.Open(ensemble.Options{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc, mgr))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
+		mgr.Drain(ctx)
 		svc.Drain(ctx)
 	})
 	return ts, svc
@@ -278,7 +284,14 @@ func TestHTTPResultWhileRunning(t *testing.T) {
 
 // TestSelftest runs the `make serve-smoke` body in-process.
 func TestSelftest(t *testing.T) {
-	if err := runSelftest(service.Options{Workers: 2}); err != nil {
+	if err := runSelftest(service.Options{Workers: 2}, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelftestEnsemble runs the `make ensemble-smoke` body in-process.
+func TestSelftestEnsemble(t *testing.T) {
+	if err := runSelftest(service.Options{Workers: 2}, true); err != nil {
 		t.Fatal(err)
 	}
 }

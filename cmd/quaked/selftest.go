@@ -10,39 +10,99 @@ import (
 	"net/http"
 	"time"
 
+	"swquake/internal/ensemble"
 	"swquake/internal/service"
 	"swquake/internal/telemetry"
 )
 
-// runSelftest is the `make serve-smoke` body: boot the daemon on a random
-// loopback port, drive one tiny job through the real HTTP API (submit →
-// poll → result), verify a resubmission is served from the cache, and exit
-// nonzero on any failure.
-func runSelftest(opts service.Options) error {
+// runSelftest is the `make serve-smoke` / `make ensemble-smoke` body: boot
+// the daemon on a random loopback port, drive work through the real HTTP
+// API, and exit nonzero on any failure. The plain flow runs one tiny job
+// (submit → poll → result → cached resubmission); the campaign flow runs a
+// 3-member quickstart seed sweep (create → poll → aggregate).
+func runSelftest(opts service.Options, campaign bool) error {
 	logger := opts.Logger
 	if logger == nil {
 		logger = telemetry.Discard()
 	}
 	svc := service.New(opts)
+	mgr, err := ensemble.Open(ensemble.Options{Service: svc, Logger: logger})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newServer(svc)}
+	srv := &http.Server{Handler: newServer(svc, mgr)}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
-	logger.Info("quaked selftest", "addr", base)
+	logger.Info("quaked selftest", "addr", base, "campaign", campaign)
 
-	if err := selftestFlow(base); err != nil {
+	flow := selftestFlow
+	if campaign {
+		flow = selftestCampaignFlow
+	}
+	if err := flow(base); err != nil {
 		return fmt.Errorf("selftest: %w", err)
 	}
 	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if err := mgr.Drain(dctx); err != nil {
+		return fmt.Errorf("selftest: campaign drain: %w", err)
+	}
 	if err := svc.Drain(dctx); err != nil {
 		return fmt.Errorf("selftest: drain: %w", err)
 	}
 	logger.Info("quaked selftest ok")
+	return nil
+}
+
+// selftestCampaignFlow drives a 3-member quickstart seed sweep through the
+// campaign API end to end and sanity-checks the aggregated hazard maps.
+func selftestCampaignFlow(base string) error {
+	var st ensemble.Status
+	spec := `{"scenario":"quickstart","base":{"steps":40},` +
+		`"seeds":{"base":1,"count":3,"het_amplitude":0.05},"max_concurrent":3}`
+	if err := postJSON(base+"/v1/campaigns", spec, &st); err != nil {
+		return fmt.Errorf("create campaign: %w", err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("campaign %s stuck in state %s (%d/%d folded)",
+				st.ID, st.State, st.Folded, st.Members)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if err := getJSONOrText(base+"/v1/campaigns/"+st.ID, &st); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+	}
+	if st.State != ensemble.StateDone || st.Folded != 3 {
+		return fmt.Errorf("campaign finished %s with %d/3 folded: %s", st.State, st.Folded, st.Error)
+	}
+	var agg ensemble.Aggregate
+	if err := getJSONOrText(base+"/v1/campaigns/"+st.ID+"/aggregate", &agg); err != nil {
+		return fmt.Errorf("aggregate: %w", err)
+	}
+	if agg.Folded != 3 || len(agg.MeanPGV) != agg.Nx*agg.Ny || agg.MeanPGVMax <= 0 {
+		return fmt.Errorf("aggregate malformed: folded=%d nx=%d ny=%d max=%g",
+			agg.Folded, agg.Nx, agg.Ny, agg.MeanPGVMax)
+	}
+	if len(agg.ExceedProb) == 0 || len(agg.PercentilePGV) == 0 {
+		return fmt.Errorf("aggregate missing hazard maps: %d exceed, %d percentile",
+			len(agg.ExceedProb), len(agg.PercentilePGV))
+	}
+	var metrics struct {
+		Campaigns map[string]int64 `json:"campaigns"`
+	}
+	if err := getJSONOrText(base+"/metrics", &metrics); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if metrics.Campaigns["campaigns_done"] < 1 || metrics.Campaigns["members_folded"] < 3 {
+		return fmt.Errorf("campaign metrics inconsistent: %+v", metrics.Campaigns)
+	}
 	return nil
 }
 

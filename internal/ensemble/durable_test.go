@@ -1,0 +1,180 @@
+package ensemble
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"swquake/internal/manifest"
+	"swquake/internal/service"
+)
+
+// TestDurableCampaignSurvivesRestartBitIdentical is the subsystem's
+// acceptance test: a durable campaign is cut down mid-flight (manager and
+// service both stopped with an expired deadline, the moral equivalent of
+// a SIGKILL), rebooted, and must finish with an aggregate bit-identical
+// to the serial reference — folded members re-fold from their persisted
+// fields, the in-flight member resumes inside the job service, and the
+// rest run fresh.
+func TestDurableCampaignSurvivesRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := service.Open(service.Options{Workers: 1, DataDir: dir, CheckpointEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(Options{Service: svc, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := sweepSpec(40, 4)
+	spec.MaxConcurrent = 1 // members run strictly one after another
+	st, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+
+	// wait until at least one member has folded but the campaign is not done
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Folded >= 1 && cur.Folded < 4 {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("campaign finished before the kill: %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never folded a member: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// hard shutdown: expired deadlines park the in-flight member (manager)
+	// and the running job (service) without journaling anything terminal
+	expired, cancel := context.WithDeadline(context.Background(), time.Now())
+	cancel()
+	m.Drain(expired)
+	svc.Drain(expired)
+
+	// reboot: the service requeues the parked member job, the manager
+	// re-folds the persisted fields and re-attaches to the recovered job
+	svc2, err := service.Open(service.Options{Workers: 1, DataDir: dir, CheckpointEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Service: svc2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt := m2.Metrics(); mt.Recovered != 1 {
+		t.Fatalf("recovered %d campaigns, want 1", mt.Recovered)
+	}
+	st2, err := m2.Status(id)
+	if err != nil {
+		t.Fatalf("recovered campaign lost: %v", err)
+	}
+	if !st2.Recovered {
+		t.Fatalf("campaign not flagged recovered: %+v", st2)
+	}
+
+	final := waitCampaign(t, m2, id)
+	if final.State != StateDone || final.Folded != 4 || final.Failed != 0 {
+		t.Fatalf("final status %+v", final)
+	}
+
+	agg, err := m2.Aggregate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceAggregate(t, spec)
+	if !bitEqual(agg.MeanPGV, ref.Mean()) {
+		t.Fatal("mean PGV after restart differs from serial reference")
+	}
+	if !bitEqual(agg.StdPGV, ref.Std()) {
+		t.Fatal("std PGV after restart differs from serial reference")
+	}
+	for k := range agg.ExceedProb {
+		if !bitEqual(agg.ExceedProb[k], ref.ExceedProb()[k]) {
+			t.Fatalf("exceedance map %d after restart differs from serial reference", k)
+		}
+	}
+
+	// the finished campaign left a manifest next to its state
+	cm, err := manifest.LoadCampaign(m2.stateDir(id) + "/manifest.json")
+	if err != nil {
+		t.Fatalf("campaign manifest: %v", err)
+	}
+	if cm.ID != id || cm.State != string(StateDone) || cm.Folded != 4 || len(cm.MemberJobs) != 4 {
+		t.Fatalf("manifest %+v", cm)
+	}
+	if cm.MeanPGVMax != agg.MeanPGVMax {
+		t.Fatalf("manifest headline %g vs aggregate %g", cm.MeanPGVMax, agg.MeanPGVMax)
+	}
+
+	drainAll(t, m2, svc2)
+
+	// a third boot sees a terminal campaign: nothing to recover, and the
+	// compacted journal stays quiet about it
+	svc3, err := service.Open(service.Options{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Open(Options{Service: svc3, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt := m3.Metrics(); mt.Recovered != 0 {
+		t.Fatalf("terminal campaign recovered again: %+v", mt)
+	}
+	drainAll(t, m3, svc3)
+}
+
+// TestDurableCreateSurvivesImmediateKill: a campaign killed before any
+// member finished must resume from just the journaled spec.
+func TestDurableCreateSurvivesImmediateKill(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := service.Open(service.Options{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(Options{Service: svc, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Create(sweepSpec(15, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Now())
+	cancel()
+	m.Drain(expired)
+	svc.Drain(expired)
+
+	svc2, err := service.Open(service.Options{Workers: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Open(Options{Service: svc2, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitCampaign(t, m2, st.ID)
+	if final.State != StateDone || final.Folded != 2 {
+		t.Fatalf("final status %+v", final)
+	}
+	// ID sequence continues past the recovered campaign
+	st2, err := m2.Create(sweepSpec(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != "camp-000002" {
+		t.Fatalf("next campaign ID %s", st2.ID)
+	}
+	waitCampaign(t, m2, st2.ID)
+	drainAll(t, m2, svc2)
+}

@@ -5,6 +5,7 @@ import (
 
 	"swquake/internal/core"
 	"swquake/internal/grid"
+	"swquake/internal/model"
 )
 
 // Overrides adjusts a named scenario. Zero values keep the scenario's
@@ -27,6 +28,19 @@ type Overrides struct {
 	// Overlap enables the communication-hiding pipeline variant
 	// (core.Config.Overlap). Bit-identical too; matters for parallel runs.
 	Overlap bool `json:"overlap,omitempty"`
+	// HetAmplitude, when positive, superposes stochastic small-scale
+	// velocity heterogeneity (model.Heterogeneous) on the scenario's
+	// velocity model: the RMS fractional perturbation (e.g. 0.05).
+	// Distinct Seeds then give distinct realizations — the substrate of
+	// ensemble campaigns.
+	HetAmplitude float64 `json:"het_amplitude,omitempty"`
+	// HetCorrLen is the heterogeneity correlation length in meters
+	// (0 = 8 grid spacings).
+	HetCorrLen float64 `json:"het_corr_len,omitempty"`
+	// Seed selects the heterogeneity realization. It is part of the
+	// config's cache identity (via the model rendering in ConfigKey), so
+	// two members of a seed sweep never collide in the result cache.
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Names lists the scenarios Build accepts.
@@ -90,6 +104,19 @@ func Build(name string, o Overrides) (core.Config, error) {
 	}
 	if o.Overlap {
 		cfg.Overlap = true
+	}
+	if o.Seed != 0 && o.HetAmplitude <= 0 {
+		return cfg, fmt.Errorf("scenario: seed %d set without het_amplitude — the seed would be a silent no-op", o.Seed)
+	}
+	if o.HetAmplitude > 0 {
+		corrLen := o.HetCorrLen
+		if corrLen <= 0 {
+			corrLen = 8 * cfg.Dx
+		}
+		lx := float64(cfg.Dims.Nx) * cfg.Dx
+		ly := float64(cfg.Dims.Ny) * cfg.Dx
+		lz := float64(cfg.Dims.Nz) * cfg.Dx
+		cfg.Model = model.NewHeterogeneous(cfg.Model, o.HetAmplitude, corrLen, lx, ly, lz, o.Seed)
 	}
 	return cfg, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"swquake/internal/core"
 	"swquake/internal/grid"
+	"swquake/internal/model"
 	"swquake/internal/source"
 )
 
@@ -101,5 +102,84 @@ func TestTangshanRejectsInvalid(t *testing.T) {
 	}
 	if _, err := (Tangshan{Dims: grid.Dims{Nx: 10, Ny: 10, Nz: 10}, Dx: -1, Steps: 5}).Config(); err == nil {
 		t.Fatal("negative dx accepted")
+	}
+}
+
+func TestBuildHeterogeneityOverrides(t *testing.T) {
+	for _, name := range Names() {
+		base, err := Build(name, Overrides{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		het, err := Build(name, Overrides{HetAmplitude: 0.05, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s het: %v", name, err)
+		}
+		h, ok := het.Model.(*model.Heterogeneous)
+		if !ok {
+			t.Fatalf("%s: model is %T, not *model.Heterogeneous", name, het.Model)
+		}
+		if h.Amplitude != 0.05 || h.Seed != 7 || h.CorrLen != 8*het.Dx {
+			t.Fatalf("%s: wrapper misconfigured: %+v", name, h)
+		}
+		// the perturbed model must differ somewhere but stay valid
+		differs := false
+		for i := 0; i < het.Dims.Nx; i += 4 {
+			x := float64(i) * het.Dx
+			mb := base.Model.Sample(x, 0, 0)
+			mh := h.Sample(x, 0, 0)
+			if mh.Vp != mb.Vp {
+				differs = true
+			}
+			if !mh.Valid() {
+				t.Fatalf("%s: perturbed material invalid at x=%g: %+v", name, x, mh)
+			}
+		}
+		if !differs {
+			t.Fatalf("%s: heterogeneity had no effect", name)
+		}
+		if err := het.Validate(); err != nil {
+			t.Fatalf("%s: het config invalid: %v", name, err)
+		}
+	}
+}
+
+func TestBuildHeterogeneitySeedsDiffer(t *testing.T) {
+	a, err := Build("quickstart", Overrides{HetAmplitude: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("quickstart", Overrides{HetAmplitude: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := a.Model.Sample(800, 800, 400)
+	mb := b.Model.Sample(800, 800, 400)
+	if ma.Vp == mb.Vp {
+		t.Fatal("different seeds sampled identical perturbations")
+	}
+	// same seed reproduces the realization exactly
+	a2, err := Build("quickstart", Overrides{HetAmplitude: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a2.Model.Sample(800, 800, 400); got != ma {
+		t.Fatalf("seed 1 not reproducible: %+v vs %+v", got, ma)
+	}
+}
+
+func TestBuildCorrLenOverride(t *testing.T) {
+	cfg, err := Build("tangshan", Overrides{HetAmplitude: 0.03, HetCorrLen: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := cfg.Model.(*model.Heterogeneous); h.CorrLen != 2000 {
+		t.Fatalf("corr len override ignored: %g", h.CorrLen)
+	}
+}
+
+func TestBuildSeedWithoutAmplitudeRejected(t *testing.T) {
+	if _, err := Build("quickstart", Overrides{Seed: 3}); err == nil {
+		t.Fatal("seed without het_amplitude accepted (silent no-op)")
 	}
 }

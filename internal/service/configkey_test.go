@@ -121,3 +121,49 @@ func TestConfigKeyScenarioBuilds(t *testing.T) {
 		}
 	}
 }
+
+// TestConfigKeyHeterogeneityCollisionGuard is the ensemble cache-collision
+// guard: campaign members differ only in their stochastic-heterogeneity
+// seed (or amplitude, or correlation length). If any of those fields were
+// invisible to ConfigKey, the result cache would silently serve one
+// member's result for every other member of the sweep.
+func TestConfigKeyHeterogeneityCollisionGuard(t *testing.T) {
+	key := func(o scenario.Overrides) string {
+		t.Helper()
+		cfg, err := scenario.Build("tangshan", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := ConfigKey(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	plain := key(scenario.Overrides{})
+	base := key(scenario.Overrides{HetAmplitude: 0.05, Seed: 1})
+	if base == plain {
+		t.Fatal("heterogeneous config hashes like the unperturbed one")
+	}
+	variants := map[string]scenario.Overrides{
+		"seed":      {HetAmplitude: 0.05, Seed: 2},
+		"amplitude": {HetAmplitude: 0.06, Seed: 1},
+		"corr_len":  {HetAmplitude: 0.05, Seed: 1, HetCorrLen: 2500},
+	}
+	seen := map[string]string{"base": base, "plain": plain}
+	for name, o := range variants {
+		k := key(o)
+		for prev, pk := range seen {
+			if k == pk {
+				t.Errorf("configs differing only in %s vs %s hash identically", name, prev)
+			}
+		}
+		seen[name] = k
+	}
+
+	// same seed sweep member resubmitted must still collapse to one key
+	if again := key(scenario.Overrides{HetAmplitude: 0.05, Seed: 1}); again != base {
+		t.Fatal("identical heterogeneous config is not canonically hashable")
+	}
+}

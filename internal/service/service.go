@@ -171,12 +171,23 @@ type Trace struct {
 	W    []float32 `json:"w"`
 }
 
+// SurfaceField is a row-major scalar field over the free surface — the
+// job's peak-ground-velocity map, the per-member input hazard aggregation
+// consumes.
+type SurfaceField struct {
+	Nx     int       `json:"nx"`
+	Ny     int       `json:"ny"`
+	Values []float64 `json:"values"`
+}
+
 // Result is a completed job's payload: the same RunManifest shape a batch
-// run archives on disk, plus the station traces. Results may be served
-// from the cache and shared between jobs — treat them as immutable.
+// run archives on disk, the station traces, and (when the config records
+// PGV) the surface peak-ground-velocity field. Results may be served from
+// the cache and shared between jobs — treat them as immutable.
 type Result struct {
 	Manifest manifest.RunManifest `json:"manifest"`
 	Traces   []Trace              `json:"traces"`
+	PGV      *SurfaceField        `json:"pgv,omitempty"`
 }
 
 // job is the service-internal record of one submission.
@@ -842,6 +853,12 @@ func buildResult(cfg core.Config, res *core.Result) *Result {
 			Name: tr.Station.Name, I: tr.Station.I, J: tr.Station.J,
 			Dt: tr.Dt, U: tr.U, V: tr.V, W: tr.W,
 		})
+	}
+	if res.PGV != nil {
+		out.PGV = &SurfaceField{
+			Nx: res.PGV.Nx, Ny: res.PGV.Ny,
+			Values: append([]float64(nil), res.PGV.PGV...),
+		}
 	}
 	return out
 }
