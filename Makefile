@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench bench-json bench-tiles profile repro fuzz clean serve-smoke ensemble-smoke crash-test
+.PHONY: all build check vet test race bench bench-json bench-tiles profile repro fuzz clean serve-smoke ensemble-smoke crash-test chaos-test
 
 all: build check test
 
@@ -64,6 +64,18 @@ crash-test:
 	$(GO) test -race ./internal/checkpoint/ -run 'Atomic|Corrupt|Truncat|Valid|GC|Aux'
 	$(GO) test -race ./internal/service/ -run 'Journal|Recover|Retry|Panic|Drain|Cancel'
 	$(GO) test -race ./cmd/quaked/ -run 'KillRestart|RestartSkips|Faults'
+
+# the self-healing engine drills under the race detector: injected halo
+# corruption, stalled ranks and rank panics recovered in-run with results
+# bit-identical to an undisturbed run, plus the abort/watchdog machinery in
+# internal/mpi (already part of `make check`'s race list) and the metrics
+# that surface the faults
+chaos-test:
+	$(GO) test -race -count=1 ./internal/mpi/
+	$(GO) test -race -count=1 ./internal/core/ -run \
+		'TestDiverged|TestConfigurableDivergence|TestHaloCRC|TestHaloCorruption|TestStalledRank|TestRankPanic|TestInRunRecovery|TestRecoveryWithout'
+	$(GO) test -race -count=1 ./internal/service/ -run 'TestEngineFault|TestParallelDurable'
+	$(GO) test -race -count=1 ./cmd/quakesim/ -run 'TestRunFaultDrill|TestRunRejectsBadFaultSpec'
 
 # boot the quaked daemon on a random loopback port and drive one job
 # through the real HTTP API: submit -> poll -> result -> cache hit -> metrics

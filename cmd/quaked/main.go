@@ -55,13 +55,20 @@
 // journaled — a rebooted daemon re-folds finished members' persisted PGV
 // fields (bit-identical to the first life) and resumes the rest. Plain
 // durable job behavior: accepted jobs are journaled to
-// DIR/journal.jsonl (fsynced before the submit response), running serial
-// jobs auto-checkpoint under DIR/checkpoints/<job>/, and a reboot with the
-// same -data replays the journal — unfinished jobs are requeued and resume
-// from the newest checkpoint that passes integrity checks (a corrupted
-// latest falls back to the one before it). Transient failures, including
-// worker panics, are retried with capped exponential backoff up to
-// -max-attempts.
+// DIR/journal.jsonl (fsynced before the submit response), running jobs —
+// serial and parallel alike — auto-checkpoint under DIR/checkpoints/<job>/,
+// and a reboot with the same -data replays the journal — unfinished jobs
+// are requeued and resume from the newest checkpoint that passes integrity
+// checks (a corrupted latest falls back to the one before it). Transient
+// failures, including worker panics, are retried with capped exponential
+// backoff up to -max-attempts.
+//
+// Engine resilience flags: -halo-crc seals parallel halo exchanges with
+// CRC32 frames, -step-deadline arms the stalled-rank watchdog, and
+// -engine-retries lets the parallel engine heal halo-corruption, stall and
+// rank-panic faults in-run by rewinding to the newest valid checkpoint —
+// without burning a job-level attempt. Faults surface as
+// swquake_engine_faults_total{kind} and swquake_engine_recoveries_total.
 package main
 
 import (
@@ -108,7 +115,11 @@ func run(args []string) error {
 		ckptKeep   = fs.Int("checkpoint-keep", 0, "checkpoints retained per job (0 = 3)")
 		maxAttempt = fs.Int("max-attempts", 0, "attempts per job before failure is permanent (0 = 3 with -data, else 1)")
 		retryWait  = fs.Duration("retry-backoff", 0, "base retry backoff, doubled per attempt up to 32x (0 = 100ms)")
-		faults     = fs.String("faults", "", "fault-injection spec, e.g. 'checkpoint/corrupt:times=1;io/slow:delay=5ms' (testing only)")
+		faults     = fs.String("faults", "", "fault-injection spec, e.g. 'checkpoint/corrupt:times=1;rank/stall:delay=2s' (testing only)")
+
+		stepDeadline  = fs.Duration("step-deadline", 0, "parallel-engine watchdog: fail a halo exchange waiting longer than this as a stalled rank (0 = off)")
+		haloCRC       = fs.Bool("halo-crc", false, "CRC32-frame parallel halo exchanges so in-flight corruption is detected")
+		engineRetries = fs.Int("engine-retries", 0, "in-run recovery budget: engine faults healed by rewinding to the newest valid checkpoint (0 = off)")
 
 		traceDir  = fs.String("trace", "", "write a Chrome trace-event file (DIR/quaked-trace.jsonl, open in Perfetto) covering job lifecycles and engine steps")
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this extra address (off by default)")
@@ -158,6 +169,9 @@ func run(args []string) error {
 		CheckpointKeep:  *ckptKeep,
 		MaxAttempts:     *maxAttempt,
 		RetryBackoff:    *retryWait,
+		StepDeadline:    *stepDeadline,
+		HaloCRC:         *haloCRC,
+		EngineRetries:   *engineRetries,
 		Logger:          logger,
 		Tracer:          tracer,
 	}

@@ -32,6 +32,7 @@ import (
 	"swquake/internal/checkpoint"
 	"swquake/internal/compress"
 	"swquake/internal/core"
+	"swquake/internal/faultinject"
 	"swquake/internal/model"
 	"swquake/internal/output"
 	"swquake/internal/scenario"
@@ -69,6 +70,12 @@ func run(args []string, w io.Writer) error {
 		overlap   = fs.Bool("overlap", false, "overlap interior compute with the velocity-halo exchange (bit-identical; pays off with -parallel)")
 		progress  = fs.Bool("progress", false, "print step progress and ETA during the run")
 		timing    = fs.Bool("timing", false, "print the per-stage kernel timing breakdown after the run")
+
+		stepDeadline = fs.Duration("step-deadline", 0, "parallel watchdog: fail a halo exchange waiting longer than this as a stalled rank (0 = off)")
+		haloCRC      = fs.Bool("halo-crc", false, "CRC32-frame parallel halo exchanges so in-flight corruption is detected (bit-identical results)")
+		faultRetries = fs.Int("fault-retries", 0, "in-run recovery budget for engine faults: rewind to the newest valid checkpoint and resume (0 = off)")
+		divLimit     = fs.Float64("divergence-limit", 0, "max |velocity| in m/s before the run is declared diverged (0 = 1e6)")
+		faults       = fs.String("faults", "", "fault-injection spec for resilience drills, e.g. 'halo/corrupt:times=1;rank/stall:delay=2s' (testing only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +98,16 @@ func run(args []string, w io.Writer) error {
 		cfg.Model = g
 	}
 	cfg.SunwaySim = *sunwaySim
+	cfg.StepDeadline = *stepDeadline
+	cfg.HaloCRC = *haloCRC
+	cfg.MaxFaultRetries = *faultRetries
+	cfg.DivergenceLimit = *divLimit
+	if *faults != "" {
+		if err := faultinject.EnableSpec(*faults); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fault injection armed: %s\n", *faults)
+	}
 	if *progress {
 		cfg.Observer = progressObserver(w, cfg.Steps)
 	}
@@ -282,6 +299,10 @@ func report(w io.Writer, res *core.Result) {
 	}
 	if res.YieldedPointSteps > 0 {
 		fmt.Fprintf(w, "plasticity engaged at %d point-steps\n", res.YieldedPointSteps)
+	}
+	for _, ev := range res.Faults {
+		fmt.Fprintf(w, "engine fault recovered: %s on rank %d at step %d (resumed from step %d, attempt %d)\n",
+			ev.Kind, ev.Rank, ev.Step, ev.ResumeStep, ev.Attempt)
 	}
 	for _, ck := range res.Checkpoints {
 		fmt.Fprintf(w, "checkpoint %s (%.1fx LZ4)\n", ck.Path, ck.CompressionRatio)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"swquake/internal/compress"
+	"swquake/internal/faultinject"
 	"swquake/internal/model"
 	"swquake/internal/scenario"
 )
@@ -129,6 +130,44 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-model", "/does/not/exist"}, &buf); err == nil {
 		t.Fatal("missing model accepted")
+	}
+}
+
+// TestRunFaultDrillRecovers drives the self-healing engine from the CLI:
+// an injected halo corruption under -halo-crc with a -fault-retries budget
+// and checkpoints on disk must recover in-run and report the recovery.
+func TestRunFaultDrillRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-scenario", "quickstart", "-steps", "40",
+		"-parallel", "2x1", "-halo-crc", "-fault-retries", "3",
+		"-checkpoint-every", "15", "-out", dir,
+		"-faults", "halo/corrupt:times=1,skip=80"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fault injection armed") {
+		t.Fatalf("arming not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "engine fault recovered: halo-corrupt") {
+		t.Fatalf("recovery not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "done in") {
+		t.Fatalf("run did not finish:\n%s", out)
+	}
+}
+
+// TestRunRejectsBadFaultSpec: a typo'd failpoint name fails fast with the
+// valid vocabulary instead of silently arming nothing.
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	defer faultinject.Reset()
+	var buf bytes.Buffer
+	err := run([]string{"-scenario", "quickstart", "-steps", "10",
+		"-faults", "halo/corupt:times=1"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown failpoint") {
+		t.Fatalf("bad fault spec: %v", err)
 	}
 }
 

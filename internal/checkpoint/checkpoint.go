@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"swquake/internal/atomicio"
 	"swquake/internal/faultinject"
@@ -265,6 +266,16 @@ func (c *Controller) MaybeSave(step int, simTime float64, wf *fd.Wavefield) (Inf
 	return c.saveAux(step, simTime, wf, aux)
 }
 
+// MaybeSaveAux is MaybeSave with the aux payload supplied by the caller
+// instead of the Aux hook — the parallel engine gathers a global resume
+// state across ranks and passes it here.
+func (c *Controller) MaybeSaveAux(step int, simTime float64, wf *fd.Wavefield, aux []byte) (Info, bool, error) {
+	if !c.Due(step) {
+		return Info{}, false, nil
+	}
+	return c.saveAux(step, simTime, wf, aux)
+}
+
 // saveAux writes the due checkpoint and applies the retention policy. The
 // async controller calls it directly with aux captured at snapshot time.
 func (c *Controller) saveAux(step int, simTime float64, wf *fd.Wavefield, aux []byte) (Info, bool, error) {
@@ -332,6 +343,17 @@ func LatestValid(dir string) (string, error) {
 		}
 	}
 	return "", ErrNoCheckpoint
+}
+
+// PathStep parses the step number out of a controller-written checkpoint
+// filename (ckpt-%08d.swq); ok is false for any other name, including "".
+func PathStep(path string) (int, bool) {
+	var step int
+	base := filepath.Base(path)
+	if _, err := fmt.Sscanf(base, "ckpt-%d.swq", &step); err != nil || !strings.HasSuffix(base, ".swq") {
+		return 0, false
+	}
+	return step, true
 }
 
 func float32Bytes(src []float32) []byte {

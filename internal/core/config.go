@@ -183,6 +183,37 @@ type Config struct {
 	// measure exactly that overhead and for callers that want the engine
 	// maximally bare.
 	NoStageTiming bool
+
+	// DivergenceLimit is the max |v| (m/s) beyond which the solution is
+	// declared diverged, on both the serial and parallel paths; 0 uses
+	// DefaultDivergenceLimit. NaN and ±Inf always count as diverged.
+	DivergenceLimit float64
+
+	// HaloCRC seals every packed halo buffer with a trailing CRC32 word
+	// (mpi.SealCRC) and verifies it at the receiver, so a frame corrupted
+	// in flight aborts the step collectively as an EngineFault instead of
+	// silently propagating garbage into the stencils. RunParallel only.
+	HaloCRC bool
+
+	// StepDeadline bounds every halo-exchange wait under RunParallel: a
+	// receive still pending after this long is diagnosed as a stalled
+	// neighbour and the run unwinds collectively with an EngineFault
+	// (kind "stall") instead of deadlocking forever. 0 disables the
+	// watchdog. Size it generously — several times the slowest expected
+	// step — or slow machines will see spurious stalls.
+	StepDeadline time.Duration
+
+	// MaxFaultRetries is how many times RunParallelCtx heals an
+	// EngineFault in-process by rewinding to the newest valid checkpoint
+	// in Checkpoint.Dir (or RestartFrom, or the start) and resuming. 0
+	// means a fault fails the run on first occurrence. Non-fault errors
+	// (divergence, cancellation) are never retried.
+	MaxFaultRetries int
+
+	// OnFault, when non-nil, receives one FaultEvent per contained engine
+	// fault — recovered or not — as it happens. Called from the merge
+	// goroutine of RunParallelCtx, never concurrently with itself.
+	OnFault func(FaultEvent)
 }
 
 // Validate checks the configuration and fills defaults in place.
@@ -262,6 +293,15 @@ func (c *Config) Validate() error {
 		if s.I < 0 || s.I >= c.Dims.Nx || s.J < 0 || s.J >= c.Dims.Ny || s.K < 0 || s.K >= c.Dims.Nz {
 			return fmt.Errorf("core: station %q outside grid", s.Name)
 		}
+	}
+	if c.DivergenceLimit < 0 {
+		return fmt.Errorf("core: negative divergence limit")
+	}
+	if c.StepDeadline < 0 {
+		return fmt.Errorf("core: negative step deadline")
+	}
+	if c.MaxFaultRetries < 0 {
+		return fmt.Errorf("core: negative fault retry count")
 	}
 	return nil
 }

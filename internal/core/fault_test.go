@@ -1,0 +1,295 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"swquake/internal/checkpoint"
+	"swquake/internal/faultinject"
+	"swquake/internal/mpi"
+)
+
+// TestDivergedPredicate pins the one divergence predicate both the serial
+// and parallel paths share: NaN, ±Inf, and the (configurable) magnitude
+// limit.
+func TestDivergedPredicate(t *testing.T) {
+	cases := []struct {
+		m, limit float64
+		want     bool
+	}{
+		{0, 0, false},
+		{1e5, 0, false},
+		{1e6, 0, false}, // at the default limit, not beyond it
+		{1e6 + 1, 0, true},
+		{math.NaN(), 0, true},
+		{math.Inf(1), 0, true},
+		{math.Inf(-1), 0, true},
+		{5, 10, false},
+		{11, 10, true},
+		{math.NaN(), 1e300, true},
+		{2e7, 1e8, false}, // raised limit admits larger magnitudes
+	}
+	for _, c := range cases {
+		if got := diverged(c.m, c.limit); got != c.want {
+			t.Errorf("diverged(%g, %g) = %v, want %v", c.m, c.limit, got, c.want)
+		}
+	}
+}
+
+// TestConfigurableDivergenceLimit: a healthy run must be declared diverged
+// when the limit is set below its physical velocities — on the serial AND
+// the parallel path, with the same error shape.
+func TestConfigurableDivergenceLimit(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Steps = 10
+	cfg.DivergenceLimit = 1e-30
+
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("serial: err = %v, want divergence", err)
+	}
+
+	cfg.MaxFaultRetries = 3 // divergence is deterministic: must NOT be retried
+	events := 0
+	cfg.OnFault = func(FaultEvent) { events++ }
+	if _, err := RunParallel(cfg, 2, 2); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("parallel: err = %v, want divergence", err)
+	}
+	if events != 0 {
+		t.Fatalf("divergence produced %d fault events", events)
+	}
+}
+
+// TestHaloCRCCleanRunBitIdentical: the CRC framing must be invisible to the
+// physics — a sealed run matches an unsealed one bit for bit.
+func TestHaloCRCCleanRunBitIdentical(t *testing.T) {
+	cfg := heterogeneousConfig()
+	plain, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HaloCRC = true
+	cfg.StepDeadline = 30 * time.Second
+	sealed, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsEqual(t, sealed, plain)
+	if len(sealed.Faults) != 0 {
+		t.Fatalf("clean run reported %d faults", len(sealed.Faults))
+	}
+}
+
+// TestHaloCorruptionDetected: with no retry budget, a frame corrupted after
+// sealing must fail the run with a typed EngineFault of kind halo-corrupt,
+// wrapping the mpi frame error.
+func TestHaloCorruptionDetected(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := baseConfig()
+	cfg.HaloCRC = true
+	faultinject.Enable(faultinject.HaloCorrupt, faultinject.Fault{Times: 1, Skip: 40})
+
+	var events []FaultEvent
+	cfg.OnFault = func(ev FaultEvent) { events = append(events, ev) }
+	_, err := RunParallel(cfg, 2, 2)
+	if err == nil {
+		t.Fatal("corrupted halo went undetected")
+	}
+	var ef *EngineFault
+	if !errors.As(err, &ef) || ef.Kind != FaultHaloCorrupt {
+		t.Fatalf("err = %v, want EngineFault kind %s", err, FaultHaloCorrupt)
+	}
+	if !errors.Is(err, mpi.ErrFrameCorrupt) {
+		t.Fatalf("fault does not wrap the mpi frame error: %v", err)
+	}
+	if len(events) != 1 || events[0].Recovered || events[0].Kind != FaultHaloCorrupt {
+		t.Fatalf("events %+v", events)
+	}
+	if faultinject.Hits(faultinject.HaloCorrupt) != 1 {
+		t.Fatalf("failpoint fired %d times", faultinject.Hits(faultinject.HaloCorrupt))
+	}
+}
+
+// TestStalledRankDetected: with the watchdog armed and no retry budget, a
+// rank sleeping past the step deadline must turn the would-be deadlock into
+// a diagnosed stall within bounded time.
+func TestStalledRankDetected(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := baseConfig()
+	cfg.Steps = 20
+	cfg.StepDeadline = 300 * time.Millisecond
+	faultinject.Enable(faultinject.RankStall, faultinject.Fault{Times: 1, Skip: 20, Delay: 1500 * time.Millisecond})
+
+	start := time.Now()
+	_, err := RunParallel(cfg, 2, 2)
+	if err == nil {
+		t.Fatal("stalled rank went undetected")
+	}
+	var ef *EngineFault
+	if !errors.As(err, &ef) || ef.Kind != FaultStall {
+		t.Fatalf("err = %v, want EngineFault kind %s", err, FaultStall)
+	}
+	// the run must end promptly after the stall is detected, not deadlock;
+	// the world still joins the sleeping rank (~1.5s), so allow a few seconds
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("stall detection took %v", time.Since(start))
+	}
+}
+
+// TestRankPanicContained: a panic inside one rank goroutine must not crash
+// the process — it becomes an EngineFault of kind panic and unwinds every
+// rank collectively.
+func TestRankPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := baseConfig()
+	cfg.Steps = 20
+	faultinject.Enable(faultinject.RankPanic, faultinject.Fault{Times: 1, Skip: 20})
+
+	_, err := RunParallel(cfg, 2, 2)
+	if err == nil {
+		t.Fatal("rank panic went uncontained")
+	}
+	var ef *EngineFault
+	if !errors.As(err, &ef) || ef.Kind != FaultPanic {
+		t.Fatalf("err = %v, want EngineFault kind %s", err, FaultPanic)
+	}
+}
+
+// TestInRunRecoveryDrill is the self-healing acceptance drill: one run is
+// hit by all three injected fault classes — a corrupted halo frame, a
+// stalled rank, and a rank panic — and must recover from each in-process
+// (rewinding to the newest valid checkpoint) and still produce a result
+// bit-identical to an undisturbed run: full traces, PGV, yield counter,
+// perf accounting and all.
+func TestInRunRecoveryDrill(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := heterogeneousConfig()
+	cfg.Steps = 40
+	cfg.Nonlinear = true
+	cfg.Plasticity = PlasticityConfig{Cohesion: 5e4, FrictionAngle: 30 * math.Pi / 180}
+
+	ref, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drill := cfg
+	drill.HaloCRC = true
+	drill.StepDeadline = 500 * time.Millisecond
+	drill.MaxFaultRetries = 6
+	drill.Checkpoint = &checkpoint.Controller{Dir: t.TempDir(), Interval: 10, Keep: 4}
+	// with 4 ranks on a 2x2 grid: 16 halo/corrupt evaluations per step and 4
+	// per step for the rank points — the skips place the three faults in
+	// different thirds of the run, each (usually) after a checkpoint exists
+	faultinject.Enable(faultinject.HaloCorrupt, faultinject.Fault{Times: 1, Skip: 16 * 12})
+	faultinject.Enable(faultinject.RankStall, faultinject.Fault{Times: 1, Skip: 4 * 22, Delay: 1200 * time.Millisecond})
+	faultinject.Enable(faultinject.RankPanic, faultinject.Fault{Times: 1, Skip: 4 * 32})
+
+	var events []FaultEvent
+	drill.OnFault = func(ev FaultEvent) { events = append(events, ev) }
+	res, err := RunParallel(drill, 2, 2)
+	if err != nil {
+		t.Fatalf("drill did not recover: %v", err)
+	}
+
+	assertRunsEqual(t, res, ref)
+
+	// every injected fault fired, was recovered, and was reported
+	kinds := map[FaultKind]int{}
+	for _, ev := range res.Faults {
+		if !ev.Recovered {
+			t.Fatalf("unrecovered fault in successful run: %+v", ev)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, k := range []FaultKind{FaultHaloCorrupt, FaultStall, FaultPanic} {
+		if kinds[k] == 0 {
+			t.Fatalf("fault kind %s never recovered (faults: %+v)", k, res.Faults)
+		}
+	}
+	if len(events) != len(res.Faults) {
+		t.Fatalf("%d OnFault events, %d recovered faults", len(events), len(res.Faults))
+	}
+	for _, p := range []faultinject.Point{faultinject.HaloCorrupt, faultinject.RankStall, faultinject.RankPanic} {
+		if faultinject.Hits(p) != 1 {
+			t.Fatalf("%s fired %d times", p, faultinject.Hits(p))
+		}
+	}
+}
+
+// TestRecoveryWithoutCheckpointRestartsFromZero: a fault with a retry
+// budget but no checkpoints must rewind to the very beginning and still
+// finish bit-identical.
+func TestRecoveryWithoutCheckpointRestartsFromZero(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := baseConfig()
+	cfg.Steps = 20
+
+	ref, err := RunParallel(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drill := cfg
+	drill.HaloCRC = true
+	drill.MaxFaultRetries = 2
+	faultinject.Enable(faultinject.HaloCorrupt, faultinject.Fault{Times: 1, Skip: 16 * 10})
+	res, err := RunParallel(drill, 2, 2)
+	if err != nil {
+		t.Fatalf("did not recover: %v", err)
+	}
+	assertRunsEqual(t, res, ref)
+	if len(res.Faults) == 0 || res.Faults[0].ResumeStep != 0 {
+		t.Fatalf("faults %+v, want a recovery with ResumeStep 0", res.Faults)
+	}
+}
+
+// assertRunsEqual requires two parallel results to agree on everything the
+// bit-exactness contract covers (wall-clock time excluded).
+func assertRunsEqual(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Steps != want.Steps || got.Dt != want.Dt {
+		t.Fatalf("steps/dt: got %d/%g, want %d/%g", got.Steps, got.Dt, want.Steps, want.Dt)
+	}
+	if got.YieldedPointSteps != want.YieldedPointSteps {
+		t.Fatalf("yielded %d, want %d", got.YieldedPointSteps, want.YieldedPointSteps)
+	}
+	if len(got.Recorder.Traces) != len(want.Recorder.Traces) {
+		t.Fatalf("%d traces, want %d", len(got.Recorder.Traces), len(want.Recorder.Traces))
+	}
+	for _, wtr := range want.Recorder.Traces {
+		gtr := got.Recorder.Trace(wtr.Station.Name)
+		if gtr == nil || len(gtr.U) != len(wtr.U) {
+			t.Fatalf("trace %s shape mismatch", wtr.Station.Name)
+		}
+		for i := range wtr.U {
+			if gtr.U[i] != wtr.U[i] || gtr.V[i] != wtr.V[i] || gtr.W[i] != wtr.W[i] {
+				t.Fatalf("trace %s sample %d differs", wtr.Station.Name, i)
+			}
+		}
+	}
+	if (got.PGV == nil) != (want.PGV == nil) {
+		t.Fatal("PGV presence mismatch")
+	}
+	if got.PGV != nil {
+		for i, v := range want.PGV.PGV {
+			if got.PGV.PGV[i] != v {
+				t.Fatalf("PGV[%d] = %g, want %g", i, got.PGV.PGV[i], v)
+			}
+		}
+	}
+	if got.Perf.Steps != want.Perf.Steps ||
+		got.Perf.VelocityPoints != want.Perf.VelocityPoints ||
+		got.Perf.StressPoints != want.Perf.StressPoints ||
+		got.Perf.PlasticityPoints != want.Perf.PlasticityPoints ||
+		got.Perf.SpongePoints != want.Perf.SpongePoints ||
+		got.Perf.HaloBytes != want.Perf.HaloBytes {
+		t.Fatalf("perf differs:\n got %+v\nwant %+v", got.Perf, want.Perf)
+	}
+}

@@ -2,12 +2,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"swquake/internal/cgexec"
 	"swquake/internal/checkpoint"
 	"swquake/internal/decomp"
+	"swquake/internal/faultinject"
 	"swquake/internal/fd"
 	"swquake/internal/grid"
 	"swquake/internal/mpi"
@@ -28,18 +31,29 @@ import (
 //
 // Feature parity with the serial runner is complete: checkpoints are
 // gathered to rank 0 and written as one global dump (readable by serial or
-// parallel restarts via Config.RestartFrom), divergence is detected
-// collectively, Result.Perf sums the per-rank kernel counters, and
-// Result.Sunway aggregates the simulated core-group stats when
-// Config.SunwaySim is set.
+// parallel restarts via Config.RestartFrom) carrying the full resume state,
+// divergence is detected collectively, Result.Perf sums the per-rank kernel
+// counters, and Result.Sunway aggregates the simulated core-group stats
+// when Config.SunwaySim is set.
 func RunParallel(cfg Config, mx, my int) (*Result, error) {
 	return RunParallelCtx(context.Background(), cfg, mx, my)
 }
 
-// RunParallelCtx is RunParallel with cancellation: the context is checked
-// collectively at every step boundary (the same AllreduceMax pattern as the
-// divergence check), so all ranks stop together within one step and the
-// context's cause comes back wrapped in the error.
+// RunParallelCtx is RunParallel with cancellation and self-healing.
+//
+// Cancellation: the context is checked collectively at every step boundary
+// (the same AllreduceMax pattern as the divergence check), so all ranks
+// stop together within one step and the context's cause comes back wrapped
+// in the error.
+//
+// Self-healing (DESIGN.md §3.7): an in-run EngineFault — corrupt halo
+// frame, stalled exchange, rank panic — unwinds every rank collectively,
+// and when Config.MaxFaultRetries allows, the run rewinds to the newest
+// valid checkpoint (or the start) and resumes in-process, bit-identical to
+// an undisturbed run. Recovered faults are reported through Config.OnFault
+// and Result.Faults; a fault that exhausts the budget fails the run with
+// the *EngineFault in the error chain. Non-fault errors (divergence,
+// cancellation, setup, checkpoint I/O) are deterministic and never retried.
 func RunParallelCtx(ctx context.Context, cfg Config, mx, my int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -53,17 +67,112 @@ func RunParallelCtx(ctx context.Context, cfg Config, mx, my int) (*Result, error
 		return nil, err
 	}
 
+	runStart := timeNow()
+	var faults []FaultEvent
+	restartFrom := cfg.RestartFrom
+	for attempt := 1; ; attempt++ {
+		run := cfg
+		run.RestartFrom = restartFrom
+		res, err := runParallelOnce(ctx, run, pg, srcParts)
+		if err == nil {
+			res.Faults = faults
+			res.Perf.Elapsed = timeNow().Sub(runStart)
+			return res, nil
+		}
+		var ef *EngineFault
+		if !errors.As(err, &ef) {
+			return nil, err
+		}
+		ev := FaultEvent{Kind: ef.Kind, Rank: ef.Rank, Step: ef.Step, Attempt: attempt, Err: ef.Err}
+		if attempt > cfg.MaxFaultRetries || ctx.Err() != nil {
+			emitFault(&cfg, ev)
+			return nil, fmt.Errorf("core: engine fault after %d in-run recovery attempt(s): %w", attempt-1, err)
+		}
+		// rewind: the newest dump that still passes every integrity check,
+		// else whatever the caller restarted from, else the beginning
+		resume := cfg.RestartFrom
+		if cfg.Checkpoint != nil {
+			if path, cerr := checkpoint.LatestValid(cfg.Checkpoint.Dir); cerr == nil {
+				resume = path
+			}
+		}
+		ev.Recovered = true
+		if step, ok := checkpoint.PathStep(resume); ok {
+			ev.ResumeStep = step
+		}
+		emitFault(&cfg, ev)
+		faults = append(faults, ev)
+		restartFrom = resume
+	}
+}
+
+// emitFault reports one fault event to the tracer and the OnFault hook.
+func emitFault(cfg *Config, ev FaultEvent) {
+	if cfg.Tracer != nil {
+		cfg.Tracer.Instant(0, cfg.TraceTID, "engine", "engine_fault", timeNow(), map[string]any{
+			"kind": string(ev.Kind), "rank": ev.Rank, "step": ev.Step,
+			"attempt": ev.Attempt, "recovered": ev.Recovered, "resume_step": ev.ResumeStep,
+		})
+	}
+	if cfg.OnFault != nil {
+		cfg.OnFault(ev)
+	}
+}
+
+// runParallelOnce is one attempt at the full parallel run: spawn the world,
+// contain whatever the ranks raise, and merge the outputs as if gathered to
+// rank 0. Perf.Elapsed is left to the caller, which accounts wall time
+// across recovery attempts.
+func runParallelOnce(ctx context.Context, cfg Config, pg *decomp.ProcessGrid, srcParts [][]source.PointSource) (*Result, error) {
 	// each rank writes only its own outs slot, so the merge below needs no
 	// locking (world.Run joins every rank goroutine before returning)
 	outs := make([]rankOut, pg.Size())
 	world := mpi.NewWorld(pg.Size())
-	runStart := timeNow()
 	world.Run(func(r *mpi.Rank) {
-		runRank(ctx, r, pg, cfg, srcParts[r.ID()], &outs[r.ID()])
+		out := &outs[r.ID()]
+		defer func() {
+			if p := recover(); p != nil {
+				containFault(r, out, p)
+			}
+		}()
+		runRank(ctx, r, pg, cfg, srcParts[r.ID()], out)
 	})
-	elapsed := timeNow().Sub(runStart)
 
-	// merge, as if gathered to rank 0
+	// error triage: the typed fault outranks its collateral damage (ranks
+	// unwound by the abort), and any plain error outranks both
+	var abortErr error
+	abortRank := -1
+	var plainErr error
+	plainRank := -1
+	for id := range outs {
+		o := &outs[id]
+		if o.err == nil {
+			continue
+		}
+		var ef *EngineFault
+		if errors.As(o.err, &ef) {
+			return nil, fmt.Errorf("core: rank %d: %w", id, o.err)
+		}
+		var ae *mpi.AbortError
+		if errors.As(o.err, &ae) {
+			if abortErr == nil {
+				abortErr, abortRank = o.err, id
+			}
+			continue
+		}
+		if plainErr == nil {
+			plainErr, plainRank = o.err, id
+		}
+	}
+	if plainErr != nil {
+		return nil, fmt.Errorf("core: rank %d: %w", plainRank, plainErr)
+	}
+	if abortErr != nil {
+		// an abort with no recorded fault should be impossible; fail loudly
+		// rather than merge a half-finished run
+		return nil, fmt.Errorf("core: rank %d: %w", abortRank, abortErr)
+	}
+
 	res := &Result{}
 	merged := seismo.NewRecorder(nil, 1, 1)
 	if cfg.RecordPGV {
@@ -71,9 +180,6 @@ func RunParallelCtx(ctx context.Context, cfg Config, mx, my int) (*Result, error
 	}
 	for id := range outs {
 		o := &outs[id]
-		if o.err != nil {
-			return nil, fmt.Errorf("core: rank %d: %w", id, o.err)
-		}
 		if o.rec != nil {
 			for _, tr := range o.rec.Traces {
 				g := *tr
@@ -105,8 +211,28 @@ func RunParallelCtx(ctx context.Context, cfg Config, mx, my int) (*Result, error
 	res.Dt = outs[0].dt
 	res.Steps = outs[0].steps
 	res.Perf.Steps = outs[0].perf.Steps
-	res.Perf.Elapsed = elapsed
 	return res, nil
+}
+
+// containFault is the rank goroutine's recover handler: a detected
+// EngineFault claims the rank and poisons the world so every neighbour
+// unwinds; an *mpi.AbortError is that unwinding (collateral, recorded
+// as-is); anything else is an unclassified panic wrapped as an EngineFault.
+// The merge then surfaces the typed fault, not the collateral.
+func containFault(r *mpi.Rank, out *rankOut, p any) {
+	switch v := p.(type) {
+	case *EngineFault:
+		v.Rank = r.ID()
+		out.err = v
+		r.Abort(v.Error())
+	case *mpi.AbortError:
+		out.err = v
+	default:
+		ef := &EngineFault{Kind: FaultPanic, Rank: r.ID(), Step: out.steps,
+			Err: fmt.Errorf("panic: %v", v)}
+		out.err = ef
+		r.Abort(ef.Error())
+	}
 }
 
 // rankOut is what one rank reports back to the merge step.
@@ -143,11 +269,10 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 	local.OriginY = cfg.OriginY + float64(j0)*cfg.Dx
 	local.Sources = srcs
 	local.Stations = nil
-	for _, st := range cfg.Stations {
-		if st.I >= i0 && st.I < i0+block.Nx && st.J >= j0 && st.J < j0+block.Ny {
-			local.Stations = append(local.Stations,
-				seismo.Station{Name: st.Name, I: st.I - i0, J: st.J - j0, K: st.K})
-		}
+	for _, gi := range blockStationIndices(&cfg, pg, r.ID()) {
+		st := cfg.Stations[gi]
+		local.Stations = append(local.Stations,
+			seismo.Station{Name: st.Name, I: st.I - i0, J: st.J - j0, K: st.K})
 	}
 	// the shared controller and the global restart dump are rank-collective
 	// concerns handled below, not per-block simulator features
@@ -180,7 +305,7 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 	out.dt = sim.Cfg.Dt
 
 	if cfg.RestartFrom != "" {
-		err := sim.restoreBlock(cfg.RestartFrom, cfg.Dims, i0, j0)
+		err := sim.restoreBlock(cfg.RestartFrom, &cfg, pg, r.ID())
 		if collectiveFailed(r, err) {
 			out.err = rankErr(err)
 			return
@@ -193,7 +318,7 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 	stopTiling := sim.startTiling()
 	defer stopTiling()
 
-	ex := &haloExchanger{r: r, pg: pg}
+	ex := &haloExchanger{r: r, pg: pg, crc: cfg.HaloCRC, deadline: cfg.StepDeadline}
 	rankStart := timeNow()
 	for sim.step < cfg.Steps {
 		// cancellation is collective, like the divergence check below, so
@@ -205,6 +330,14 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 		if r.AllreduceMax(flag) > 0 {
 			out.err = fmt.Errorf("run stopped at step %d: %w", sim.step, context.Cause(ctx))
 			return
+		}
+		// the rank failpoints fire between the boundary collective and the
+		// step body: a stalled rank is detected by its neighbours' halo
+		// deadlines, not parked inside a reduction
+		out.steps = sim.step
+		faultinject.Fire(faultinject.RankStall) // sleeps the configured Delay
+		if faultinject.Fire(faultinject.RankPanic) {
+			panic(fmt.Sprintf("%s: injected rank failure", faultinject.RankPanic))
 		}
 		sim.stepWith(ex)
 		sim.observe(rankStart)
@@ -218,22 +351,25 @@ func runRank(ctx context.Context, r *mpi.Rank, pg *decomp.ProcessGrid, cfg Confi
 			out.checkpoints = append(out.checkpoints, infos...)
 			sw.Lap(telemetry.StageCheckpoint)
 		}
-		// divergence detection is collective so every rank stops together
+		// divergence detection is collective so every rank stops together;
+		// NaN maps to +Inf so it survives the max reduction
 		m := float64(sim.WF.MaxAbsVelocity())
 		if math.IsNaN(m) {
 			m = math.Inf(1)
 		}
 		g := r.AllreduceMax(m)
 		sw.Lap(telemetry.StageDivergence)
-		if g > 1e6 {
+		if diverged(g, cfg.DivergenceLimit) {
 			out.err = fmt.Errorf("solution diverged at step %d (max |v| = %g)", sim.step, g)
 			return
 		}
 	}
 	// halo traffic is analytic — HaloBytesPerStep matches the exchanged
-	// byte count exactly for the 9 dynamic fields — so it needs no counter
-	// on the hot path and survives restarts for free (Steps counts only
-	// steps this process executed, which equals exchanges performed)
+	// byte count exactly for the 9 dynamic fields (the optional CRC word is
+	// integrity overhead, not field traffic) — so it needs no counter on
+	// the hot path. Steps spans the whole simulation on every rank (an
+	// aux-carrying restart restores the global count), so restarted,
+	// recovered and undisturbed runs all account identically.
 	sim.perf.HaloBytes = pg.HaloBytesPerStep(r.ID(), len(FieldNames), fd.Halo) * sim.perf.Steps
 	out.rec = sim.rec
 	out.pgv = sim.pgv
@@ -265,20 +401,45 @@ func rankErr(err error) error {
 	return err
 }
 
+// blockStationIndices returns the indices into cfg.Stations of the stations
+// hosted by rank id's block, in the order runRank builds the local station
+// list — the one mapping between a rank's local traces and the global
+// station set, shared by checkpoint assembly and block restore.
+func blockStationIndices(cfg *Config, pg *decomp.ProcessGrid, id int) []int {
+	i0, j0 := pg.Offset(id)
+	block := pg.BlockDims()
+	var idxs []int
+	for gi, st := range cfg.Stations {
+		if st.I >= i0 && st.I < i0+block.Nx && st.J >= j0 && st.J < j0+block.Ny {
+			idxs = append(idxs, gi)
+		}
+	}
+	return idxs
+}
+
 // restoreBlock loads a GLOBAL checkpoint and extracts this rank's block,
 // interior plus ghost layers (see checkpoint.ExtractBlock for why that is
-// bit-exact), then resumes the simulator clock from the dump.
-func (s *Simulator) restoreBlock(path string, global grid.Dims, i0, j0 int) error {
-	step, tm, gwf, err := checkpoint.Load(path)
+// bit-exact), then resumes the simulator clock from the dump. When the dump
+// carries a resume-aux section (serial dumps and parallel dumps both do),
+// the block-relevant replay state is restored too, so the resumed run's
+// outputs match an uninterrupted run exactly.
+func (s *Simulator) restoreBlock(path string, gcfg *Config, pg *decomp.ProcessGrid, id int) error {
+	step, tm, gwf, aux, err := checkpoint.LoadAux(path)
 	if err != nil {
 		return err
 	}
-	if gwf.D != global {
-		return fmt.Errorf("core: checkpoint dims %v do not match run %v", gwf.D, global)
+	if gwf.D != gcfg.Dims {
+		return fmt.Errorf("core: checkpoint dims %v do not match run %v", gwf.D, gcfg.Dims)
 	}
+	i0, j0 := pg.Offset(id)
 	wf, err := checkpoint.ExtractBlock(gwf, s.Cfg.Dims, i0, j0)
 	if err != nil {
 		return err
+	}
+	if len(aux) > 0 {
+		if err := s.applyResumeAuxBlock(aux, gcfg, pg, id); err != nil {
+			return err
+		}
 	}
 	s.WF = wf
 	s.step = step
@@ -289,12 +450,15 @@ func (s *Simulator) restoreBlock(path string, global grid.Dims, i0, j0 int) erro
 	return nil
 }
 
-// parallelCheckpoint gathers every rank's interior block to rank 0, which
-// assembles the global wavefield and drives the shared checkpoint
-// controller — the paper's gather-to-I/O-process restart path. The save
-// status is broadcast so all ranks agree on failure and stop together.
+// parallelCheckpoint gathers every rank's interior block — and its slice of
+// the resume state — to rank 0, which assembles the global wavefield plus a
+// global resume-aux section and drives the shared checkpoint controller:
+// the paper's gather-to-I/O-process restart path. The dump is byte-for-byte
+// interchangeable with a serial run's, aux included. The save status is
+// broadcast so all ranks agree on failure and stop together.
 func parallelCheckpoint(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, sim *Simulator) ([]checkpoint.Info, error) {
 	parts := r.Gather(0, checkpoint.PackInterior(sim.WF))
+	auxParts := r.Gather(0, auxWords(sim.resumeAux()))
 	status := []float32{0}
 	var infos []checkpoint.Info
 	var saveErr error
@@ -307,8 +471,12 @@ func parallelCheckpoint(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, sim *Si
 				break
 			}
 		}
+		var aux []byte
 		if saveErr == nil {
-			info, saved, err := cfg.Checkpoint.MaybeSave(sim.step, sim.simTime, global)
+			aux, saveErr = assembleGlobalResume(&cfg, pg, auxParts, sim)
+		}
+		if saveErr == nil {
+			info, saved, err := cfg.Checkpoint.MaybeSaveAux(sim.step, sim.simTime, global, aux)
 			saveErr = err
 			if err == nil && saved {
 				infos = append(infos, info)
@@ -329,6 +497,55 @@ func parallelCheckpoint(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, sim *Si
 	return infos, saveErr
 }
 
+// assembleGlobalResume merges the per-rank resume payloads gathered at a
+// parallel checkpoint into one global resume-aux section in the serial
+// format: traces land in cfg.Stations order, the per-rank PGV blocks merge
+// into the global surface, and the work counters sum across ranks — which
+// is why a parallel dump restores bit-exactly into a serial run, a
+// parallel run, or a recovery attempt.
+func assembleGlobalResume(cfg *Config, pg *decomp.ProcessGrid, parts [][]float32, sim *Simulator) ([]byte, error) {
+	g := resumeState{
+		steps:     sim.perf.Steps,
+		elapsed:   sim.perf.Elapsed,
+		stepsSeen: sim.rec.StepsSeen(),
+		traces:    make([][3][]float32, len(cfg.Stations)),
+	}
+	if sim.pgv != nil {
+		g.pgv = seismo.NewPGVField(cfg.Dims.Nx, cfg.Dims.Ny, sim.pgv.K)
+	}
+	for id, part := range parts {
+		raw, err := auxBytes(part)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d resume payload: %w", id, err)
+		}
+		st, err := parseResumeAux(raw)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d resume payload: %w", id, err)
+		}
+		idxs := blockStationIndices(cfg, pg, id)
+		if len(st.traces) != len(idxs) {
+			return nil, fmt.Errorf("core: rank %d gathered %d traces, block hosts %d stations",
+				id, len(st.traces), len(idxs))
+		}
+		for li, gi := range idxs {
+			g.traces[gi] = st.traces[li]
+		}
+		if g.pgv != nil {
+			if st.pgv == nil {
+				return nil, fmt.Errorf("core: rank %d resume payload carries no PGV", id)
+			}
+			i0, j0 := pg.Offset(id)
+			g.pgv.Merge(st.pgv, i0, j0)
+		}
+		g.yielded += st.yielded
+		g.velocityPoints += st.velocityPoints
+		g.stressPoints += st.stressPoints
+		g.plasticityPoints += st.plasticityPoints
+		g.spongePoints += st.spongePoints
+	}
+	return encodeResumeState(&g), nil
+}
+
 // haloExchanger is the RunParallel Exchanger: the 2D halo protocol over the
 // simulated MPI world, tagged per step and phase, split into the Start/
 // Finish halves the overlapped pipeline needs. Start posts the y-round
@@ -343,14 +560,24 @@ func parallelCheckpoint(r *mpi.Rank, pg *decomp.ProcessGrid, cfg Config, sim *Si
 // Each neighbour pair trades one buffer each way per face per phase, so the
 // flow is balanced and the steady-state exchange allocates nothing.
 //
+// With crc set, every frame carries one extra CRC32 word (mpi.SealCRC) and
+// the receiver verifies it before unpacking; with a deadline set, every
+// receive wait is bounded. Either violation panics a typed *EngineFault,
+// which the rank's containment handler turns into a collective unwind —
+// that panic, not a return value, is why the Exchanger interface needs no
+// error plumbing.
+//
 // The exchanger is driven by exactly one rank goroutine, so bufs and the
 // pending-phase fields need no locking.
 type haloExchanger struct {
-	r    *mpi.Rank
-	pg   *decomp.ProcessGrid
-	bufs bufCache
-	vel  *pendingPhase
-	str  *pendingPhase
+	r        *mpi.Rank
+	pg       *decomp.ProcessGrid
+	crc      bool
+	deadline time.Duration
+	step     int // current step, for fault attribution
+	bufs     bufCache
+	vel      *pendingPhase
+	str      *pendingPhase
 }
 
 // pendingPhase is one halo phase in flight between Start and Finish: the
@@ -368,6 +595,7 @@ type pendingRecv struct {
 }
 
 func (h *haloExchanger) StartVelocity(wf *fd.Wavefield, step int) {
+	h.step = step
 	h.vel = h.startPhase(wf.VelocityFields(), step*2)
 }
 
@@ -378,6 +606,7 @@ func (h *haloExchanger) FinishVelocity(wf *fd.Wavefield, step int) bool {
 }
 
 func (h *haloExchanger) StartStress(wf *fd.Wavefield, step int) {
+	h.step = step
 	h.str = h.startPhase(wf.StressFields(), step*2+1)
 }
 
@@ -404,7 +633,10 @@ func (h *haloExchanger) finishPhase(p *pendingPhase) {
 }
 
 // postRound packs and posts the non-blocking sends and receives for one
-// direction pair.
+// direction pair. Under crc the frame is one word longer than the payload
+// and sealed after packing; the halo/corrupt failpoint flips a payload bit
+// AFTER the seal — exactly the in-flight corruption the check exists to
+// catch — and halo/delay holds the send back to exercise the watchdog.
 func (h *haloExchanger) postRound(fields []*grid.Field, minus, plus grid.Face, tag int) ([]*mpi.Request, []pendingRecv) {
 	var sends []*mpi.Request
 	var recvs []pendingRecv
@@ -413,8 +645,20 @@ func (h *haloExchanger) postRound(fields []*grid.Field, minus, plus grid.Face, t
 		if !ok {
 			continue
 		}
-		buf := h.bufs.get(haloLen(fields, face))
-		packFields(fields, face, buf)
+		n := haloLen(fields, face)
+		frame := n
+		if h.crc {
+			frame = n + 1
+		}
+		buf := h.bufs.get(frame)
+		packFields(fields, face, buf[:n])
+		if h.crc {
+			mpi.SealCRC(buf)
+			if faultinject.Fire(faultinject.HaloCorrupt) && n > 0 {
+				buf[0] = math.Float32frombits(math.Float32bits(buf[0]) ^ 1)
+			}
+		}
+		faultinject.Fire(faultinject.HaloDelay) // sleeps the configured Delay
 		sends = append(sends, h.r.IsendOwned(nb, tag, buf))
 		recvs = append(recvs, pendingRecv{face: face, req: h.r.Irecv(nb, tag)})
 	}
@@ -422,11 +666,25 @@ func (h *haloExchanger) postRound(fields []*grid.Field, minus, plus grid.Face, t
 }
 
 // completeRound waits for the receives, unpacks them (recycling the arrived
-// buffers), and drains the send requests.
+// buffers), and drains the send requests. A receive that outlives the step
+// deadline is a stalled neighbour; a frame that fails its CRC is corrupt —
+// both panic a typed *EngineFault for the containment handler.
 func (h *haloExchanger) completeRound(fields []*grid.Field, sends []*mpi.Request, recvs []pendingRecv) {
 	for _, p := range recvs {
-		data := p.req.Wait()
-		unpackFields(fields, p.face, data)
+		data, ok := p.req.WaitWithin(h.deadline)
+		if !ok {
+			panic(&EngineFault{Kind: FaultStall, Step: h.step,
+				Err: fmt.Errorf("halo receive exceeded the %v step deadline", h.deadline)})
+		}
+		payload := data
+		if h.crc {
+			var err error
+			payload, err = mpi.OpenCRC(data)
+			if err != nil {
+				panic(&EngineFault{Kind: FaultHaloCorrupt, Step: h.step, Err: err})
+			}
+		}
+		unpackFields(fields, p.face, payload)
 		h.bufs.put(data)
 	}
 	for _, q := range sends {

@@ -66,10 +66,13 @@ func TestParallelFullPhysicsMatchesSerial(t *testing.T) {
 }
 
 // TestParallelCheckpointRestartResumesExactly checkpoints a parallel run
-// (gathered to rank 0, written as one global dump), resumes it in parallel
-// via Config.RestartFrom, and requires the resumed traces to continue the
-// uninterrupted serial reference bit-exactly. The same dump also restarts a
-// serial run — the parallel and serial restart paths are interchangeable.
+// (gathered to rank 0, written as one global dump with the global resume
+// state aboard), resumes it in parallel via Config.RestartFrom, and
+// requires the resumed run to match the uninterrupted serial reference
+// bit-exactly — FULL trace history and all, since the dump's aux section
+// carries the pre-checkpoint samples. The same dump also restarts a serial
+// run — the parallel and serial restart paths are interchangeable in both
+// wavefield and resume state.
 func TestParallelCheckpointRestartResumesExactly(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Steps = 40
@@ -110,17 +113,30 @@ func TestParallelCheckpointRestartResumesExactly(t *testing.T) {
 		t.Fatalf("resumed run ended at step %d", resumed.Steps)
 	}
 	tr := resumed.Recorder.Trace("S1")
-	if len(tr.U) != 20 {
-		t.Fatalf("resumed trace has %d samples, want 20", len(tr.U))
+	if len(tr.U) != len(refTr.U) {
+		t.Fatalf("resumed trace has %d samples, want the full %d", len(tr.U), len(refTr.U))
 	}
 	for i := range tr.U {
-		if tr.U[i] != refTr.U[20+i] || tr.V[i] != refTr.V[20+i] || tr.W[i] != refTr.W[20+i] {
+		if tr.U[i] != refTr.U[i] || tr.V[i] != refTr.V[i] || tr.W[i] != refTr.W[i] {
 			t.Fatalf("parallel restart diverges at sample %d: %g vs %g",
-				i, tr.U[i], refTr.U[20+i])
+				i, tr.U[i], refTr.U[i])
+		}
+	}
+	// the restored accounting matches the uninterrupted reference too
+	if resumed.Perf.Steps != refRes.Perf.Steps ||
+		resumed.Perf.VelocityPoints != refRes.Perf.VelocityPoints {
+		t.Fatalf("resumed perf %+v, want %+v", resumed.Perf, refRes.Perf)
+	}
+	if resumed.PGV != nil && refRes.PGV != nil {
+		for i, v := range resumed.PGV.PGV {
+			if v != refRes.PGV.PGV[i] {
+				t.Fatalf("resumed PGV[%d] = %g, want %g", i, v, refRes.PGV.PGV[i])
+			}
 		}
 	}
 
-	// cross-layer: a SERIAL run restarted from the parallel dump must agree
+	// cross-layer: a SERIAL run restarted from the parallel dump must agree,
+	// full history included
 	serialResume := cfg
 	serialResume.RestartFrom = half.Checkpoint.Latest()
 	ssim, err := New(serialResume)
@@ -132,8 +148,11 @@ func TestParallelCheckpointRestartResumesExactly(t *testing.T) {
 		t.Fatal(err)
 	}
 	str := sres.Recorder.Trace("S1")
+	if len(str.U) != len(refTr.U) {
+		t.Fatalf("serial restart trace has %d samples, want %d", len(str.U), len(refTr.U))
+	}
 	for i := range str.U {
-		if str.U[i] != refTr.U[20+i] {
+		if str.U[i] != refTr.U[i] {
 			t.Fatalf("serial restart from parallel dump diverges at sample %d", i)
 		}
 	}

@@ -7,17 +7,24 @@ import (
 	"math"
 	"time"
 
+	"swquake/internal/decomp"
 	"swquake/internal/seismo"
 )
 
 // The resume-aux section rides inside a checkpoint (the aux payload of
-// checkpoint.SaveAux) and carries the serial run state the wavefield alone
-// cannot reproduce: recorded seismogram samples, the running PGV peaks,
-// the plasticity yield counter and the Perf accounting. With it, a run
-// resumed from a checkpoint produces a manifest and traces bit-identical
-// to an uninterrupted run — without it, a resumed run would restart its
-// recorders empty and under-report everything accumulated before the
-// crash.
+// checkpoint.SaveAux) and carries the run state the wavefield alone cannot
+// reproduce: recorded seismogram samples, the running PGV peaks, the
+// plasticity yield counter and the Perf accounting. With it, a run resumed
+// from a checkpoint produces a manifest and traces bit-identical to an
+// uninterrupted run — without it, a resumed run would restart its recorders
+// empty and under-report everything accumulated before the crash.
+//
+// One codec serves three users: serial checkpoints (resumeAux /
+// applyResumeAux), parallel checkpoints — each rank's state is encoded in
+// this same format, gathered to rank 0 and merged into one GLOBAL section
+// (assembleGlobalResume in parallel.go), interchangeable with a serial
+// dump's — and parallel restarts, which extract the block-relevant slice
+// (applyResumeAuxBlock).
 //
 // Layout (little-endian): magic "RSA1", yielded i64, 5 perf counters i64,
 // elapsed ns i64, recorder steps u32, trace count u32, per trace a sample
@@ -27,8 +34,49 @@ import (
 
 var resumeMagic = [4]byte{'R', 'S', 'A', '1'}
 
+// resumeState is the decoded resume-aux section: everything a simulator
+// needs to pick up a run exactly where the checkpoint left it.
+type resumeState struct {
+	yielded          int64
+	velocityPoints   int64
+	stressPoints     int64
+	plasticityPoints int64
+	spongePoints     int64
+	steps            int64
+	elapsed          time.Duration
+	stepsSeen        int
+	traces           [][3][]float32 // per station: U, V, W samples
+	pgv              *seismo.PGVField
+}
+
+// resumeState snapshots the simulator's replay state. The trace and PGV
+// slices alias live simulator storage; encode before the next step.
+func (s *Simulator) resumeState() *resumeState {
+	st := &resumeState{
+		yielded:          s.yielded,
+		velocityPoints:   s.perf.VelocityPoints,
+		stressPoints:     s.perf.StressPoints,
+		plasticityPoints: s.perf.PlasticityPoints,
+		spongePoints:     s.perf.SpongePoints,
+		steps:            s.perf.Steps,
+		elapsed:          s.perf.Elapsed,
+		stepsSeen:        s.rec.StepsSeen(),
+		pgv:              s.pgv,
+	}
+	st.traces = make([][3][]float32, len(s.rec.Traces))
+	for i, tr := range s.rec.Traces {
+		st.traces[i] = [3][]float32{tr.U, tr.V, tr.W}
+	}
+	return st
+}
+
 // resumeAux serializes the simulator's replay state for SaveAux.
 func (s *Simulator) resumeAux() []byte {
+	return encodeResumeState(s.resumeState())
+}
+
+// encodeResumeState renders the state in the RSA1 layout.
+func encodeResumeState(st *resumeState) []byte {
 	var buf bytes.Buffer
 	buf.Write(resumeMagic[:])
 	le := binary.LittleEndian
@@ -42,33 +90,33 @@ func (s *Simulator) resumeAux() []byte {
 		le.PutUint32(b[:], v)
 		buf.Write(b[:])
 	}
-	writeI64(s.yielded)
-	writeI64(s.perf.VelocityPoints)
-	writeI64(s.perf.StressPoints)
-	writeI64(s.perf.PlasticityPoints)
-	writeI64(s.perf.SpongePoints)
-	writeI64(s.perf.Steps)
-	writeI64(int64(s.perf.Elapsed))
+	writeI64(st.yielded)
+	writeI64(st.velocityPoints)
+	writeI64(st.stressPoints)
+	writeI64(st.plasticityPoints)
+	writeI64(st.spongePoints)
+	writeI64(st.steps)
+	writeI64(int64(st.elapsed))
 
-	writeU32(uint32(s.rec.StepsSeen()))
-	writeU32(uint32(len(s.rec.Traces)))
-	for _, tr := range s.rec.Traces {
-		writeU32(uint32(len(tr.U)))
-		for _, c := range [][]float32{tr.U, tr.V, tr.W} {
+	writeU32(uint32(st.stepsSeen))
+	writeU32(uint32(len(st.traces)))
+	for _, tr := range st.traces {
+		writeU32(uint32(len(tr[0])))
+		for _, c := range tr {
 			for _, v := range c {
 				writeU32(math.Float32bits(v))
 			}
 		}
 	}
 
-	if s.pgv == nil {
+	if st.pgv == nil {
 		buf.WriteByte(0)
 	} else {
 		buf.WriteByte(1)
-		writeU32(uint32(s.pgv.Nx))
-		writeU32(uint32(s.pgv.Ny))
-		writeU32(uint32(s.pgv.K))
-		for _, v := range s.pgv.PGV {
+		writeU32(uint32(st.pgv.Nx))
+		writeU32(uint32(st.pgv.Ny))
+		writeU32(uint32(st.pgv.K))
+		for _, v := range st.pgv.PGV {
 			var b [8]byte
 			le.PutUint64(b[:], math.Float64bits(v))
 			buf.Write(b[:])
@@ -77,21 +125,22 @@ func (s *Simulator) resumeAux() []byte {
 	return buf.Bytes()
 }
 
-// applyResumeAux restores the state resumeAux captured. The simulator must
-// already be configured with the same stations and PGV setting as the run
-// that wrote the checkpoint.
-func (s *Simulator) applyResumeAux(data []byte) error {
+// parseResumeAux decodes an RSA1 section, validating structure only
+// (magic, declared lengths, no trailing bytes); whether the content fits
+// the consuming simulator is the caller's check.
+func parseResumeAux(data []byte) (*resumeState, error) {
 	le := binary.LittleEndian
-	fail := func(format string, args ...any) error {
-		return fmt.Errorf("core: resume aux: "+format, args...)
+	fail := func(format string, args ...any) (*resumeState, error) {
+		return nil, fmt.Errorf("core: resume aux: "+format, args...)
 	}
 	if len(data) < 4 || !bytes.Equal(data[:4], resumeMagic[:]) {
 		return fail("bad magic")
 	}
 	rest := data[4:]
+	truncated := fmt.Errorf("core: resume aux: truncated")
 	readI64 := func() (int64, error) {
 		if len(rest) < 8 {
-			return 0, fail("truncated")
+			return 0, truncated
 		}
 		v := int64(le.Uint64(rest))
 		rest = rest[8:]
@@ -99,38 +148,47 @@ func (s *Simulator) applyResumeAux(data []byte) error {
 	}
 	readU32 := func() (uint32, error) {
 		if len(rest) < 4 {
-			return 0, fail("truncated")
+			return 0, truncated
 		}
 		v := le.Uint32(rest)
 		rest = rest[4:]
 		return v, nil
 	}
 
+	st := &resumeState{}
 	var vals [7]int64
 	for i := range vals {
 		v, err := readI64()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		vals[i] = v
 	}
+	st.yielded = vals[0]
+	st.velocityPoints = vals[1]
+	st.stressPoints = vals[2]
+	st.plasticityPoints = vals[3]
+	st.spongePoints = vals[4]
+	st.steps = vals[5]
+	st.elapsed = time.Duration(vals[6])
 
 	steps, err := readU32()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	st.stepsSeen = int(steps)
 	nTraces, err := readU32()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if int(nTraces) != len(s.rec.Traces) {
-		return fail("%d traces in checkpoint, simulator has %d stations", nTraces, len(s.rec.Traces))
+	if int64(nTraces)*4 > int64(len(rest)) {
+		return fail("%d traces declared, %d bytes remain", nTraces, len(rest))
 	}
-	traces := make([][3][]float32, nTraces)
-	for i := range traces {
+	st.traces = make([][3][]float32, nTraces)
+	for i := range st.traces {
 		n, err := readU32()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if int64(n)*12 > int64(len(rest)) {
 			return fail("trace %d declares %d samples, %d bytes remain", i, n, len(rest))
@@ -140,67 +198,172 @@ func (s *Simulator) applyResumeAux(data []byte) error {
 			for j := range samples {
 				bits, err := readU32()
 				if err != nil {
-					return err
+					return nil, err
 				}
 				samples[j] = math.Float32frombits(bits)
 			}
-			traces[i][c] = samples
+			st.traces[i][c] = samples
 		}
 	}
 
 	if len(rest) < 1 {
-		return fail("truncated")
+		return nil, truncated
 	}
 	hasPGV := rest[0] == 1
 	rest = rest[1:]
-	var pgv *seismo.PGVField
 	if hasPGV {
 		nx, err := readU32()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ny, err2 := readU32()
 		if err2 != nil {
-			return err2
+			return nil, err2
 		}
 		k, err3 := readU32()
 		if err3 != nil {
-			return err3
+			return nil, err3
 		}
 		want := int64(nx) * int64(ny) * 8
 		if want != int64(len(rest)) {
 			return fail("PGV %dx%d needs %d bytes, %d remain", nx, ny, want, len(rest))
 		}
-		pgv = seismo.NewPGVField(int(nx), int(ny), int(k))
-		for i := range pgv.PGV {
-			pgv.PGV[i] = math.Float64frombits(le.Uint64(rest[i*8:]))
+		st.pgv = seismo.NewPGVField(int(nx), int(ny), int(k))
+		for i := range st.pgv.PGV {
+			st.pgv.PGV[i] = math.Float64frombits(le.Uint64(rest[i*8:]))
 		}
 		rest = rest[want:]
 	}
 	if len(rest) != 0 {
 		return fail("%d trailing bytes", len(rest))
 	}
-	if hasPGV != (s.pgv != nil) {
-		return fail("PGV presence mismatch (checkpoint %v, config %v)", hasPGV, s.pgv != nil)
+	return st, nil
+}
+
+// applyResumeAux restores the state resumeAux captured. The simulator must
+// already be configured with the same stations and PGV setting as the run
+// that wrote the checkpoint. Nothing is mutated until every check passes.
+func (s *Simulator) applyResumeAux(data []byte) error {
+	st, err := parseResumeAux(data)
+	if err != nil {
+		return err
 	}
-	if pgv != nil && (pgv.Nx != s.pgv.Nx || pgv.Ny != s.pgv.Ny) {
-		return fail("PGV dims %dx%d do not match config %dx%d", pgv.Nx, pgv.Ny, s.pgv.Nx, s.pgv.Ny)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("core: resume aux: "+format, args...)
+	}
+	if len(st.traces) != len(s.rec.Traces) {
+		return fail("%d traces in checkpoint, simulator has %d stations", len(st.traces), len(s.rec.Traces))
+	}
+	if (st.pgv != nil) != (s.pgv != nil) {
+		return fail("PGV presence mismatch (checkpoint %v, config %v)", st.pgv != nil, s.pgv != nil)
+	}
+	if st.pgv != nil && (st.pgv.Nx != s.pgv.Nx || st.pgv.Ny != s.pgv.Ny) {
+		return fail("PGV dims %dx%d do not match config %dx%d", st.pgv.Nx, st.pgv.Ny, s.pgv.Nx, s.pgv.Ny)
 	}
 
 	// everything validated — commit
-	s.yielded = vals[0]
-	s.perf.VelocityPoints = vals[1]
-	s.perf.StressPoints = vals[2]
-	s.perf.PlasticityPoints = vals[3]
-	s.perf.SpongePoints = vals[4]
-	s.perf.Steps = vals[5]
-	s.perf.Elapsed = time.Duration(vals[6])
-	s.rec.SetStepsSeen(int(steps))
+	s.yielded = st.yielded
+	s.perf.VelocityPoints = st.velocityPoints
+	s.perf.StressPoints = st.stressPoints
+	s.perf.PlasticityPoints = st.plasticityPoints
+	s.perf.SpongePoints = st.spongePoints
+	s.perf.Steps = st.steps
+	s.perf.Elapsed = st.elapsed
+	s.rec.SetStepsSeen(st.stepsSeen)
 	for i, tr := range s.rec.Traces {
-		tr.U, tr.V, tr.W = traces[i][0], traces[i][1], traces[i][2]
+		tr.U, tr.V, tr.W = st.traces[i][0], st.traces[i][1], st.traces[i][2]
 	}
-	if pgv != nil {
-		s.pgv = pgv
+	if st.pgv != nil {
+		s.pgv = st.pgv
 	}
 	return nil
+}
+
+// applyResumeAuxBlock restores the block-relevant slice of a GLOBAL resume
+// section on one parallel rank: its stations' traces (located through
+// blockStationIndices — the same mapping that built the local station
+// list), its window of the global PGV surface, the recorder phase, and the
+// global step count on every rank (it drives the analytic HaloBytes
+// accounting). The per-point work counters and the yield counter are
+// restored on rank 0 alone, so their cross-rank sums — which is all the
+// merge ever reports — equal the undisturbed run's exactly.
+func (s *Simulator) applyResumeAuxBlock(data []byte, gcfg *Config, pg *decomp.ProcessGrid, id int) error {
+	st, err := parseResumeAux(data)
+	if err != nil {
+		return err
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("core: resume aux: "+format, args...)
+	}
+	if len(st.traces) != len(gcfg.Stations) {
+		return fail("%d traces in checkpoint, run has %d stations", len(st.traces), len(gcfg.Stations))
+	}
+	idxs := blockStationIndices(gcfg, pg, id)
+	if len(idxs) != len(s.rec.Traces) {
+		return fail("rank %d hosts %d stations, recorder has %d traces", id, len(idxs), len(s.rec.Traces))
+	}
+	if s.pgv != nil {
+		if st.pgv == nil {
+			return fail("PGV presence mismatch (checkpoint false, config true)")
+		}
+		if st.pgv.Nx != gcfg.Dims.Nx || st.pgv.Ny != gcfg.Dims.Ny {
+			return fail("PGV dims %dx%d do not match run %dx%d", st.pgv.Nx, st.pgv.Ny, gcfg.Dims.Nx, gcfg.Dims.Ny)
+		}
+	}
+
+	// everything validated — commit
+	for li, gi := range idxs {
+		tr := s.rec.Traces[li]
+		tr.U, tr.V, tr.W = st.traces[gi][0], st.traces[gi][1], st.traces[gi][2]
+	}
+	s.rec.SetStepsSeen(st.stepsSeen)
+	if s.pgv != nil {
+		i0, j0 := pg.Offset(id)
+		for i := 0; i < s.pgv.Nx; i++ {
+			for j := 0; j < s.pgv.Ny; j++ {
+				s.pgv.Set(i, j, st.pgv.At(i0+i, j0+j))
+			}
+		}
+	}
+	s.perf.Steps = st.steps
+	if id == 0 {
+		s.yielded = st.yielded
+		s.perf.VelocityPoints = st.velocityPoints
+		s.perf.StressPoints = st.stressPoints
+		s.perf.PlasticityPoints = st.plasticityPoints
+		s.perf.SpongePoints = st.spongePoints
+		s.perf.Elapsed = st.elapsed
+	}
+	return nil
+}
+
+// auxWords wraps an aux byte payload for transport over the float32-typed
+// collectives: a length word followed by the bytes packed four per word.
+// The packing is pure bit reinterpretation — the collectives copy words and
+// never do arithmetic on them, so every byte survives the gather exactly.
+func auxWords(b []byte) []float32 {
+	words := make([]float32, 1+(len(b)+3)/4)
+	words[0] = math.Float32frombits(uint32(len(b)))
+	for i, c := range b {
+		w := 1 + i/4
+		bits := math.Float32bits(words[w]) | uint32(c)<<(8*(i%4))
+		words[w] = math.Float32frombits(bits)
+	}
+	return words
+}
+
+// auxBytes unwraps an auxWords payload.
+func auxBytes(w []float32) ([]byte, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("core: empty aux payload")
+	}
+	n := int(math.Float32bits(w[0]))
+	if need := 1 + (n+3)/4; need != len(w) {
+		return nil, fmt.Errorf("core: aux payload declares %d bytes, carries %d words (want %d)", n, len(w), need)
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(math.Float32bits(w[1+i/4]) >> (8 * (i % 4)))
+	}
+	return out, nil
 }

@@ -77,6 +77,10 @@ type Result struct {
 	// ranks under RunParallel; nil when Config.NoStageTiming). Call
 	// Stages.Report() for the Fig. 7-style breakdown.
 	Stages *telemetry.StageClock
+	// Faults lists the engine faults RunParallelCtx contained AND recovered
+	// from in-process (Config.MaxFaultRetries); a fault that exhausted the
+	// retry budget fails the run instead. Empty on an undisturbed run.
+	Faults []FaultEvent
 	// Sim exposes the simulator for inspection after the run.
 	Sim *Simulator
 }
@@ -277,9 +281,9 @@ func (s *Simulator) RunCtx(ctx context.Context) (*Result, error) {
 			}
 			sw.Lap(telemetry.StageCheckpoint)
 		}
-		m := s.WF.MaxAbsVelocity()
+		m := float64(s.WF.MaxAbsVelocity())
 		sw.Lap(telemetry.StageDivergence)
-		if math.IsNaN(float64(m)) || m > 1e6 {
+		if diverged(m, s.Cfg.DivergenceLimit) {
 			return nil, fmt.Errorf("core: solution diverged at step %d (max |v| = %g)", s.step, m)
 		}
 	}

@@ -7,7 +7,9 @@
 //
 // The points model the failures the paper's restart machinery exists to
 // survive at 160K-process scale: a dump that errors mid-write, a dump that
-// lands corrupted, a worker that dies, and a file system that stalls.
+// lands corrupted, a worker that dies, a file system that stalls — and,
+// inside the parallel engine itself, a halo frame corrupted in flight, a
+// delayed exchange, and a rank that stalls or panics mid-run.
 package faultinject
 
 import (
@@ -32,7 +34,32 @@ const (
 	WorkerPanic Point = "worker/panic"
 	// SlowIO delays every atomic file write by the fault's Delay.
 	SlowIO Point = "io/slow"
+	// HaloCorrupt flips one bit of a sealed halo frame after its CRC is
+	// computed, simulating a message corrupted in flight. Fires only when
+	// the run has halo CRC framing enabled (the corruption is otherwise
+	// silently absorbed — which is the point of the check).
+	HaloCorrupt Point = "halo/corrupt"
+	// HaloDelay sleeps the fault's Delay before a halo send is posted,
+	// simulating a slow link; with a Delay beyond Config.StepDeadline the
+	// neighbour's watchdog fires.
+	HaloDelay Point = "halo/delay"
+	// RankStall sleeps the fault's Delay at a rank's step boundary,
+	// simulating a hung process; neighbours detect it through the
+	// step-deadline watchdog.
+	RankStall Point = "rank/stall"
+	// RankPanic panics inside a rank goroutine at a step boundary,
+	// exercising the engine's containment and in-run recovery.
+	RankPanic Point = "rank/panic"
 )
+
+// Known lists every failpoint compiled into the binary, in a stable order —
+// what EnableSpec validates against and what error messages enumerate.
+func Known() []Point {
+	return []Point{
+		CheckpointWrite, CheckpointCorrupt, WorkerPanic, SlowIO,
+		HaloCorrupt, HaloDelay, RankStall, RankPanic,
+	}
+}
 
 // Fault configures an enabled failpoint.
 type Fault struct {
@@ -150,6 +177,14 @@ func EnableSpec(spec string) error {
 			continue
 		}
 		name, opts, _ := strings.Cut(entry, ":")
+		if !known(Point(name)) {
+			valid := make([]string, 0, len(Known()))
+			for _, p := range Known() {
+				valid = append(valid, string(p))
+			}
+			return fmt.Errorf("faultinject: unknown failpoint %q in %q (valid points: %s)",
+				name, entry, strings.Join(valid, ", "))
+		}
 		var f Fault
 		for _, kv := range strings.Split(opts, ",") {
 			if kv == "" {
@@ -185,4 +220,14 @@ func EnableSpec(spec string) error {
 		Enable(Point(name), f)
 	}
 	return nil
+}
+
+// known reports whether p names a compiled-in failpoint.
+func known(p Point) bool {
+	for _, k := range Known() {
+		if p == k {
+			return true
+		}
+	}
+	return false
 }

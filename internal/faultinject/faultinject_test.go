@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -90,9 +91,102 @@ func TestEnableSpec(t *testing.T) {
 	if !Fire(SlowIO) {
 		t.Fatal("io/slow not armed")
 	}
-	for _, bad := range []string{"p:times=x", "p:delay=zz", "p:wat=1", "p:times"} {
-		if err := EnableSpec(bad); err == nil {
-			t.Fatalf("spec %q accepted", bad)
+}
+
+// TestEnableSpecRejectsUnknownPoint: a typo in a point name must fail
+// loudly, and the error must teach the caller the valid vocabulary.
+func TestEnableSpecRejectsUnknownPoint(t *testing.T) {
+	Reset()
+	defer Reset()
+	cases := []string{
+		"halo/corupt",                    // typo
+		"rank/stall ;bogus/point",        // valid entry followed by bad one
+		"HALO/CORRUPT",                   // names are case-sensitive
+		"checkpoint/corrupt:times=1;wat", // option-less unknown point
+	}
+	for _, spec := range cases {
+		err := EnableSpec(spec)
+		if err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown failpoint") {
+			t.Fatalf("spec %q: error does not identify the problem: %v", spec, err)
+		}
+		for _, p := range Known() {
+			if !strings.Contains(msg, string(p)) {
+				t.Fatalf("spec %q: error omits valid point %s: %v", spec, p, err)
+			}
+		}
+	}
+}
+
+// TestEnableSpecMalformedOptions drives the option parser through every
+// failure shape with *valid* point names, so the errors under test are the
+// parse errors rather than the unknown-name rejection.
+func TestEnableSpecMalformedOptions(t *testing.T) {
+	Reset()
+	defer Reset()
+	cases := []struct {
+		spec string
+		want string // substring the error must carry
+	}{
+		{"io/slow:times=x", "bad times"},
+		{"io/slow:times=1.5", "bad times"},
+		{"io/slow:skip=many", "bad skip"},
+		{"io/slow:delay=zz", "bad delay"},
+		{"io/slow:delay=10", "bad delay"}, // bare number is not a duration
+		{"io/slow:wat=1", `unknown option "wat"`},
+		{"io/slow:times", `bad option "times"`}, // missing '='
+		{"rank/stall:delay", `bad option "delay"`},
+	}
+	for _, c := range cases {
+		err := EnableSpec(c.spec)
+		if err == nil {
+			t.Fatalf("spec %q accepted", c.spec)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("spec %q: error %q does not contain %q", c.spec, err, c.want)
+		}
+	}
+	// a rejected spec must not leave earlier valid entries half-armed in a
+	// way that surprises the caller: arming is per-entry, left to right
+	Reset()
+	if err := EnableSpec("worker/panic;io/slow:times=x"); err == nil {
+		t.Fatal("bad tail entry accepted")
+	}
+	if !Fire(WorkerPanic) {
+		t.Fatal("entries before the bad one should still be armed")
+	}
+}
+
+// TestKnownListsEveryPoint pins the registry: each declared constant is
+// known, the order is stable, and there are no duplicates.
+func TestKnownListsEveryPoint(t *testing.T) {
+	want := []Point{
+		CheckpointWrite, CheckpointCorrupt, WorkerPanic, SlowIO,
+		HaloCorrupt, HaloDelay, RankStall, RankPanic,
+	}
+	got := Known()
+	if len(got) != len(want) {
+		t.Fatalf("Known() returned %d points, want %d", len(got), len(want))
+	}
+	seen := map[Point]bool{}
+	for i, p := range got {
+		if p != want[i] {
+			t.Fatalf("Known()[%d] = %s, want %s", i, p, want[i])
+		}
+		if seen[p] {
+			t.Fatalf("duplicate point %s", p)
+		}
+		seen[p] = true
+	}
+	// every known point is accepted by EnableSpec
+	Reset()
+	defer Reset()
+	for _, p := range got {
+		if err := EnableSpec(string(p)); err != nil {
+			t.Fatalf("EnableSpec(%q): %v", p, err)
 		}
 	}
 }

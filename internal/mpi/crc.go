@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// CRC framing for message payloads: one trailing float32 word carries the
+// IEEE CRC32 of the payload's bit patterns, so a frame corrupted anywhere
+// in flight (or by a buggy pack/unpack) is detected at the receiver before
+// its values reach the solver. The AWP-ODC lineage ships exactly this kind
+// of integrity check around every communication phase of its production
+// runs; CRC32 guarantees detection of every single-bit error and any burst
+// up to 32 bits. The checksum travels as raw bits inside a float32 slot —
+// no arithmetic ever touches it, so any 32-bit pattern survives transport.
+
+// ErrFrameCorrupt is wrapped by every OpenCRC checksum failure.
+var ErrFrameCorrupt = errors.New("mpi: frame checksum mismatch")
+
+// crcWords is how many payload words are staged per Update call, keeping
+// the byte-conversion scratch small while amortizing the table lookups.
+const crcWords = 512
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// ChecksumPayload computes the IEEE CRC32 over the little-endian bit
+// patterns of the payload words.
+func ChecksumPayload(p []float32) uint32 {
+	var scratch [crcWords * 4]byte
+	crc := uint32(0)
+	for len(p) > 0 {
+		n := len(p)
+		if n > crcWords {
+			n = crcWords
+		}
+		for i, v := range p[:n] {
+			bits := math.Float32bits(v)
+			scratch[i*4] = byte(bits)
+			scratch[i*4+1] = byte(bits >> 8)
+			scratch[i*4+2] = byte(bits >> 16)
+			scratch[i*4+3] = byte(bits >> 24)
+		}
+		crc = crc32.Update(crc, crcTable, scratch[:n*4])
+		p = p[n:]
+	}
+	return crc
+}
+
+// SealCRC frames buf in place: the last word is overwritten with the CRC32
+// of every word before it. The caller allocates the buffer one word longer
+// than the payload and packs into buf[:len(buf)-1].
+func SealCRC(buf []float32) {
+	if len(buf) == 0 {
+		panic("mpi: SealCRC on empty buffer")
+	}
+	buf[len(buf)-1] = math.Float32frombits(ChecksumPayload(buf[:len(buf)-1]))
+}
+
+// OpenCRC verifies a sealed frame and returns its payload (aliasing buf).
+// A mismatch means the frame was corrupted somewhere between SealCRC and
+// here; the error wraps ErrFrameCorrupt.
+func OpenCRC(buf []float32) ([]float32, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrFrameCorrupt)
+	}
+	payload := buf[: len(buf)-1 : len(buf)-1]
+	want := math.Float32bits(buf[len(buf)-1])
+	if got := ChecksumPayload(payload); got != want {
+		return nil, fmt.Errorf("%w: computed %08x, frame carries %08x (%d-word payload)",
+			ErrFrameCorrupt, got, want, len(payload))
+	}
+	return payload, nil
+}

@@ -4,18 +4,31 @@
 // and collectives synchronize through a shared reduction cell. The API is a
 // deliberately small MPI subset: Send/Recv, non-blocking Isend/Irecv (which
 // is what lets the solver overlap halo communication with interior
-// computation, the overlap AWP-ODC is known for), Barrier and Allreduce.
+// computation, the overlap AWP-ODC is known for), Barrier and Allreduce —
+// plus MPI_Abort-style world poisoning (Rank.Abort) and deadline-bounded
+// waits (Request.WaitWithin), the substrate of the engine's fault
+// containment, and CRC32 frame sealing (SealCRC/OpenCRC) for halo
+// integrity checks.
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // World owns the communication state for a fixed number of ranks.
 type World struct {
 	size   int
 	queues []chan message // queues[src*size+dst]
+
+	// aborted is closed by the first Abort; abortErr records who and why.
+	// Once poisoned, every blocking operation on the world panics with the
+	// *AbortError instead of waiting for messages that will never come —
+	// the MPI_Abort semantics a contained rank failure needs so the other
+	// ranks unwind instead of deadlocking.
+	aborted  chan struct{}
+	abortErr *AbortError // guarded by mu
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -28,6 +41,20 @@ type World struct {
 	// a rank that raced ahead into generation g+1 writes the other slot, and
 	// generation g+2 cannot begin until every rank has left generation g.
 	redMaxOut [2]float64
+}
+
+// AbortError is the panic value every blocking operation raises once the
+// world is aborted. Rank goroutines recover it at their top level and
+// unwind; it is a control-flow signal, not a data error.
+type AbortError struct {
+	// Rank is the rank that called Abort.
+	Rank int
+	// Reason is the aborter's diagnosis.
+	Reason string
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("mpi: world aborted by rank %d: %s", e.Rank, e.Reason)
 }
 
 type message struct {
@@ -45,8 +72,9 @@ func NewWorld(size int) *World {
 		panic("mpi: non-positive world size")
 	}
 	w := &World{
-		size:   size,
-		queues: make([]chan message, size*size),
+		size:    size,
+		queues:  make([]chan message, size*size),
+		aborted: make(chan struct{}),
 	}
 	for i := range w.queues {
 		w.queues[i] = make(chan message, queueCap)
@@ -83,6 +111,45 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the world size.
 func (r *Rank) Size() int { return r.w.size }
 
+// Abort poisons the world: every rank blocked in — or later entering — a
+// Send, Recv, Wait, Barrier or reduction panics with the same *AbortError,
+// so a fault contained on one rank unwinds all of them collectively instead
+// of leaving neighbours waiting forever. The first Abort wins; later calls
+// are no-ops. A world, once aborted, stays aborted.
+func (r *Rank) Abort(reason string) {
+	w := r.w
+	w.mu.Lock()
+	if w.abortErr == nil {
+		w.abortErr = &AbortError{Rank: r.id, Reason: reason}
+		close(w.aborted)
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+// AbortErr returns the abort that poisoned the world, or nil.
+func (w *World) AbortErr() *AbortError {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.abortErr
+}
+
+// abortPanic raises the world's abort as a panic. Only valid after the
+// aborted channel is closed (abortErr is immutable from then on).
+func (w *World) abortPanic() {
+	panic(w.AbortErr())
+}
+
+// checkAbortLocked panics with the abort error if the world is poisoned;
+// the caller holds w.mu, which is released before panicking.
+func (w *World) checkAbortLocked() {
+	if w.abortErr != nil {
+		err := w.abortErr
+		w.mu.Unlock()
+		panic(err)
+	}
+}
+
 // Send delivers a copy of data to dst with the given tag. It blocks only if
 // the (src,dst) queue is full.
 func (r *Rank) Send(dst, tag int, data []float32) {
@@ -91,7 +158,17 @@ func (r *Rank) Send(dst, tag int, data []float32) {
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
-	r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: cp}
+	r.send(dst, message{tag: tag, data: cp})
+}
+
+// send enqueues a message, abandoning the attempt if the world aborts while
+// the queue is full.
+func (r *Rank) send(dst int, m message) {
+	select {
+	case r.w.queues[r.id*r.w.size+dst] <- m:
+	case <-r.w.aborted:
+		r.w.abortPanic()
+	}
 }
 
 // SendOwned delivers data to dst WITHOUT the defensive copy Send makes:
@@ -104,7 +181,7 @@ func (r *Rank) SendOwned(dst, tag int, data []float32) {
 	if dst < 0 || dst >= r.w.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
-	r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: data}
+	r.send(dst, message{tag: tag, data: data})
 }
 
 // Recv receives the next message from src, which must carry the expected
@@ -114,7 +191,12 @@ func (r *Rank) Recv(src, tag int) []float32 {
 	if src < 0 || src >= r.w.size {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
 	}
-	m := <-r.w.queues[src*r.w.size+r.id]
+	var m message
+	select {
+	case m = <-r.w.queues[src*r.w.size+r.id]:
+	case <-r.w.aborted:
+		r.w.abortPanic()
+	}
 	if m.tag != tag {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", r.id, tag, src, m.tag))
 	}
@@ -123,23 +205,59 @@ func (r *Rank) Recv(src, tag int) []float32 {
 
 // Request is a handle for a non-blocking operation.
 type Request struct {
+	w    *World
 	done chan []float32
 }
 
 // Wait blocks until the operation completes, returning received data for
-// Irecv (nil for Isend).
+// Irecv (nil for Isend). Wait panics with the *AbortError if the world is
+// aborted before the operation completes.
 func (q *Request) Wait() []float32 {
-	return <-q.done
+	select {
+	case m := <-q.done:
+		return m
+	case <-q.w.aborted:
+		q.w.abortPanic()
+		return nil
+	}
+}
+
+// WaitWithin is Wait bounded by a deadline: it returns (data, true) when
+// the operation completes within d, and (nil, false) when the deadline
+// expires first — the hung-exchange watchdog the engine's per-step deadline
+// builds on. d <= 0 waits forever (plain Wait). Like Wait, it panics with
+// the *AbortError on an aborted world. A timed-out request is still in
+// flight; its message stays queued for a later Wait or is abandoned with
+// the world.
+func (q *Request) WaitWithin(d time.Duration) ([]float32, bool) {
+	if d <= 0 {
+		return q.Wait(), true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-q.done:
+		return m, true
+	case <-q.w.aborted:
+		q.w.abortPanic()
+		return nil, false
+	case <-t.C:
+		return nil, false
+	}
 }
 
 // Isend starts a non-blocking send and returns immediately.
 func (r *Rank) Isend(dst, tag int, data []float32) *Request {
-	req := &Request{done: make(chan []float32, 1)}
+	req := &Request{w: r.w, done: make(chan []float32, 1)}
 	cp := make([]float32, len(data))
 	copy(cp, data)
 	go func() {
-		r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: cp}
-		req.done <- nil
+		select {
+		case r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: cp}:
+			req.done <- nil
+		case <-r.w.aborted:
+			// abandoned: the waiter panics via its own aborted-channel select
+		}
 	}()
 	return req
 }
@@ -154,19 +272,27 @@ func (r *Rank) IsendOwned(dst, tag int, data []float32) *Request {
 	if dst < 0 || dst >= r.w.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
-	req := &Request{done: make(chan []float32, 1)}
+	req := &Request{w: r.w, done: make(chan []float32, 1)}
 	go func() {
-		r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: data}
-		req.done <- nil
+		select {
+		case r.w.queues[r.id*r.w.size+dst] <- message{tag: tag, data: data}:
+			req.done <- nil
+		case <-r.w.aborted:
+		}
 	}()
 	return req
 }
 
 // Irecv starts a non-blocking receive.
 func (r *Rank) Irecv(src, tag int) *Request {
-	req := &Request{done: make(chan []float32, 1)}
+	req := &Request{w: r.w, done: make(chan []float32, 1)}
 	go func() {
-		m := <-r.w.queues[src*r.w.size+r.id]
+		var m message
+		select {
+		case m = <-r.w.queues[src*r.w.size+r.id]:
+		case <-r.w.aborted:
+			return
+		}
 		if m.tag != tag {
 			panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", r.id, tag, src, m.tag))
 		}
@@ -179,6 +305,7 @@ func (r *Rank) Irecv(src, tag int) *Request {
 func (r *Rank) Barrier() {
 	w := r.w
 	w.mu.Lock()
+	w.checkAbortLocked()
 	gen := w.gen
 	w.arrived++
 	if w.arrived == w.size {
@@ -188,6 +315,7 @@ func (r *Rank) Barrier() {
 	} else {
 		for gen == w.gen {
 			w.cond.Wait()
+			w.checkAbortLocked()
 		}
 	}
 	w.mu.Unlock()
@@ -198,6 +326,7 @@ func (r *Rank) Barrier() {
 func (r *Rank) AllreduceSum(vals []float64) []float64 {
 	w := r.w
 	w.mu.Lock()
+	w.checkAbortLocked()
 	if w.arrived == 0 {
 		w.redSum = make([]float64, len(vals))
 	}
@@ -218,6 +347,7 @@ func (r *Rank) AllreduceSum(vals []float64) []float64 {
 	} else {
 		for gen == w.gen {
 			w.cond.Wait()
+			w.checkAbortLocked()
 		}
 	}
 	res := make([]float64, len(out))
@@ -230,6 +360,7 @@ func (r *Rank) AllreduceSum(vals []float64) []float64 {
 func (r *Rank) AllreduceMax(v float64) float64 {
 	w := r.w
 	w.mu.Lock()
+	w.checkAbortLocked()
 	if w.arrived == 0 {
 		w.redMax = v
 	} else if v > w.redMax {
@@ -245,6 +376,7 @@ func (r *Rank) AllreduceMax(v float64) float64 {
 	} else {
 		for gen == w.gen {
 			w.cond.Wait()
+			w.checkAbortLocked()
 		}
 	}
 	res := w.redMaxOut[gen%2]

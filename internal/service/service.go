@@ -97,10 +97,11 @@ type Options struct {
 	DefaultTimeout time.Duration
 
 	// DataDir, when non-empty, makes the service durable: spec'd jobs are
-	// journaled to DataDir/journal.jsonl, running serial jobs are
-	// auto-checkpointed under DataDir/checkpoints/<job>/, and Open replays
-	// the journal on boot, requeueing unfinished jobs so they resume from
-	// their latest valid checkpoint.
+	// journaled to DataDir/journal.jsonl, running jobs (serial and
+	// parallel alike) are auto-checkpointed under
+	// DataDir/checkpoints/<job>/, and Open replays the journal on boot,
+	// requeueing unfinished jobs so they resume from their latest valid
+	// checkpoint.
 	DataDir string
 	// CheckpointEvery is the auto-checkpoint interval in solver steps for
 	// durable jobs (0 = 25; negative disables auto-checkpointing).
@@ -115,6 +116,23 @@ type Options struct {
 	// RetryBackoff * 2^(attempt-1), capped at 32x, with ±25% jitter
 	// (0 = 100ms).
 	RetryBackoff time.Duration
+
+	// StepDeadline arms the parallel engine's stalled-rank watchdog for
+	// jobs that don't set Config.StepDeadline themselves: a halo exchange
+	// waiting longer than this fails the step as a diagnosed stall instead
+	// of hanging the worker (0 = no watchdog).
+	StepDeadline time.Duration
+	// HaloCRC turns on CRC32 framing of halo exchanges for parallel jobs
+	// that don't set Config.HaloCRC themselves, so in-flight corruption is
+	// detected instead of silently absorbed into the wavefield.
+	HaloCRC bool
+	// EngineRetries is the in-run fault-recovery budget handed to parallel
+	// jobs that don't set Config.MaxFaultRetries themselves: how many times
+	// the engine may rewind to its newest valid checkpoint and resume
+	// in-process after a halo-corruption, stall or rank-panic fault before
+	// the fault surfaces as a job failure (0 = no in-run recovery; the
+	// job-level retry policy still applies).
+	EngineRetries int
 
 	// Logger receives structured job-lifecycle events (submitted, started,
 	// done, failed, retrying, canceled, recovered), each carrying job_id
@@ -246,6 +264,11 @@ type Service struct {
 	stageMu  sync.Mutex
 	stageAgg *telemetry.StageClock
 
+	// faultKinds counts engine faults by kind (halo-corrupt, stall, panic)
+	// for the labeled Prometheus family; the totals live in the expvar map.
+	faultMu    sync.Mutex
+	faultKinds map[string]int64
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	retryTimers map[string]*time.Timer
@@ -261,7 +284,7 @@ var counterNames = []string{
 	"jobs_retried", "jobs_recovered", "worker_panics",
 	"journal_events", "checkpoints_saved",
 	"cache_hits", "cache_misses", "steps_done",
-	"halo_bytes",
+	"halo_bytes", "engine_faults", "engine_recoveries",
 }
 
 // New builds a Service and starts its worker pool. It panics when Open
@@ -348,6 +371,7 @@ func Open(opts Options) (*Service, error) {
 		tracer:      opts.Tracer,
 		jobLatency:  telemetry.NewHistogram(telemetry.DefLatencyBuckets),
 		stageAgg:    telemetry.NewStageClock(),
+		faultKinds:  make(map[string]int64),
 		jobs:        make(map[string]*job),
 		retryTimers: make(map[string]*time.Timer),
 		nextID:      maxID,
@@ -606,12 +630,47 @@ func (s *Service) runJob(j *job) {
 	cfg.Tracer = s.tracer
 	cfg.TraceTID = tid
 
-	// durable serial jobs auto-checkpoint into their own directory and, on
-	// a retry or post-crash requeue, resume from the newest dump that
-	// passes the integrity checks (a corrupted latest falls back to the
-	// one before it)
+	// service-level engine resilience defaults: requests that configure
+	// these themselves win, everything else inherits the daemon's policy
+	if cfg.StepDeadline == 0 {
+		cfg.StepDeadline = s.opts.StepDeadline
+	}
+	if !cfg.HaloCRC {
+		cfg.HaloCRC = s.opts.HaloCRC
+	}
+	if cfg.MaxFaultRetries == 0 {
+		cfg.MaxFaultRetries = s.opts.EngineRetries
+	}
+	// engine faults (recovered or not) feed the per-kind counters, the
+	// journal and the job log; recoveries are the engine healing itself
+	// without burning a job-level attempt
+	cfg.OnFault = func(ev core.FaultEvent) {
+		s.vars.Add("engine_faults", 1)
+		s.faultMu.Lock()
+		s.faultKinds[string(ev.Kind)]++
+		s.faultMu.Unlock()
+		if ev.Recovered {
+			s.vars.Add("engine_recoveries", 1)
+		}
+		jl.Warn("engine fault", "kind", string(ev.Kind), "rank", ev.Rank,
+			"step", ev.Step, "engine_attempt", ev.Attempt,
+			"recovered", ev.Recovered, "resume_step", ev.ResumeStep)
+		if j.req.Spec != nil {
+			s.logEvent(journalEvent{
+				Event: "engine_fault", JobID: j.id, Attempt: attempt,
+				Step: ev.Step, Error: fmt.Sprintf("%s (recovered=%v)", ev.Kind, ev.Recovered),
+			})
+		}
+	}
+
+	// durable jobs auto-checkpoint into their own directory and, on a
+	// retry or post-crash requeue, resume from the newest dump that passes
+	// the integrity checks (a corrupted latest falls back to the one
+	// before it). Parallel jobs checkpoint too: the engine gathers blocks
+	// to rank 0 and writes one global dump, so serial and parallel
+	// attempts of the same job can resume each other's checkpoints.
 	var ctl *checkpoint.Controller
-	if s.wal != nil && j.req.Spec != nil && serial && s.opts.CheckpointEvery > 0 {
+	if s.wal != nil && j.req.Spec != nil && s.opts.CheckpointEvery > 0 {
 		dir := s.ckptDir(j.id)
 		if err := os.MkdirAll(dir, 0o755); err == nil {
 			ctl = &checkpoint.Controller{
@@ -1047,6 +1106,11 @@ type Metrics struct {
 	Done, Failed, Canceled          int64
 	Retried, Recovered              int64
 	WorkerPanics                    int64
+	// EngineFaults counts faults detected inside the parallel engine
+	// (halo corruption, stalled ranks, rank panics); EngineRecoveries
+	// counts the subset the engine healed in-run by rewinding to its
+	// newest valid checkpoint — without burning a job-level attempt.
+	EngineFaults, EngineRecoveries int64
 	JournalEvents                   int64
 	CheckpointsSaved                int64
 	CacheHits, CacheMisses          int64
@@ -1076,6 +1140,8 @@ func (s *Service) Metrics() Metrics {
 		Retried:          get("jobs_retried"),
 		Recovered:        get("jobs_recovered"),
 		WorkerPanics:     get("worker_panics"),
+		EngineFaults:     get("engine_faults"),
+		EngineRecoveries: get("engine_recoveries"),
 		JournalEvents:    get("journal_events"),
 		CheckpointsSaved: get("checkpoints_saved"),
 		CacheHits:        get("cache_hits"),
@@ -1113,6 +1179,20 @@ func (s *Service) RegisterProm(reg *telemetry.PromRegistry) {
 	reg.CounterFunc("swquake_jobs_retried_total", "Transient failures sent to retry backoff.", counter("jobs_retried"))
 	reg.CounterFunc("swquake_jobs_recovered_total", "Jobs requeued from the journal on boot.", counter("jobs_recovered"))
 	reg.CounterFunc("swquake_worker_panics_total", "Engine panics isolated by the worker pool.", counter("worker_panics"))
+	reg.CounterFunc("swquake_engine_recoveries_total",
+		"Engine faults healed in-run by rewinding to the newest valid checkpoint.",
+		counter("engine_recoveries"))
+	reg.LabeledCounterFunc("swquake_engine_faults_total",
+		"Faults detected inside the parallel engine, by kind (halo-corrupt, stall, panic).", "kind",
+		func() map[string]float64 {
+			s.faultMu.Lock()
+			defer s.faultMu.Unlock()
+			out := make(map[string]float64, len(s.faultKinds))
+			for k, v := range s.faultKinds {
+				out[k] = float64(v)
+			}
+			return out
+		})
 	reg.CounterFunc("swquake_journal_events_total", "Events appended to the durability journal.", counter("journal_events"))
 	reg.CounterFunc("swquake_checkpoints_saved_total", "Auto-checkpoints written by running jobs.", counter("checkpoints_saved"))
 	reg.CounterFunc("swquake_cache_hits_total", "Submissions served from the result cache.", counter("cache_hits"))
