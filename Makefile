@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench bench-json bench-tiles profile repro fuzz clean serve-smoke ensemble-smoke crash-test chaos-test
+.PHONY: all build check vet test race bench bench-json bench-tiles profile repro fuzz clean serve-smoke ensemble-smoke crash-test chaos-test overload-test
 
 all: build check test
 
@@ -11,10 +11,10 @@ build:
 # world, the step-pipeline drivers, the job service worker pool, the ensemble
 # campaign scheduler, the durability layers, and the telemetry collectors)
 # under the race detector
-check: vet
+check: vet overload-test
 	$(GO) test -race ./internal/core/... ./internal/mpi/... ./internal/service/... \
 		./internal/ensemble/ ./internal/checkpoint/ ./internal/faultinject/ \
-		./internal/telemetry/
+		./internal/telemetry/ ./internal/admission/
 
 vet:
 	$(GO) vet ./...
@@ -76,6 +76,18 @@ chaos-test:
 		'TestDiverged|TestConfigurableDivergence|TestHaloCRC|TestHaloCorruption|TestStalledRank|TestRankPanic|TestInRunRecovery|TestRecoveryWithout'
 	$(GO) test -race -count=1 ./internal/service/ -run 'TestEngineFault|TestParallelDurable'
 	$(GO) test -race -count=1 ./cmd/quakesim/ -run 'TestRunFaultDrill|TestRunRejectsBadFaultSpec'
+
+# the overload drill under the race detector (DESIGN.md §3.8): a daemon at
+# 5x its queue+worker capacity with a tight memory budget must shed with
+# 429 + Retry-After, keep /healthz and cached results flowing, never exceed
+# the budget (ledger high-water assertion), and finish every admitted job
+# bit-identical to an unloaded run — plus the admission-layer drills in
+# internal/service (budget serialization, breaker trip/probe, watchdog
+# stall-retry, drain parking budget-blocked jobs) and the /readyz state walk
+overload-test:
+	$(GO) test -race ./cmd/quaked/ -run 'TestOverloadDrill|TestReadyzTransitions'
+	$(GO) test -race ./internal/service/ -run \
+		'TestMemBudget|TestNeverFits|TestSubmitRateLimited|TestBreakerTrip|TestProgressWatchdog|TestHealthDraining|TestDrainDeadlineParks|TestBatchYields'
 
 # boot the quaked daemon on a random loopback port and drive one job
 # through the real HTTP API: submit -> poll -> result -> cache hit -> metrics

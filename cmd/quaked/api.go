@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
+	"swquake/internal/admission"
 	"swquake/internal/ensemble"
 	"swquake/internal/scenario"
 	"swquake/internal/service"
@@ -39,6 +41,7 @@ func newServer(svc *service.Service, mgr *ensemble.Manager) *server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.registerCampaignRoutes()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -55,6 +58,9 @@ type submitRequest struct {
 	MX        int                `json:"mx,omitempty"`
 	MY        int                `json:"my,omitempty"`
 	TimeoutS  float64            `json:"timeout_s,omitempty"`
+	// Class is the admission priority class: "interactive" (default) or
+	// "batch". Batch jobs yield to interactive ones under load.
+	Class string `json:"class,omitempty"`
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -75,6 +81,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		MX:      req.MX,
 		MY:      req.MY,
 		Timeout: time.Duration(req.TimeoutS * float64(time.Second)),
+		Class:   admission.Class(req.Class),
 		// every HTTP submission is scenario-shaped, hence replayable: the
 		// spec is what the durable journal records and recovery re-runs
 		Spec: &service.JobSpec{
@@ -83,14 +90,27 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			MX:        req.MX,
 			MY:        req.MY,
 			TimeoutS:  req.TimeoutS,
+			Class:     admission.Class(req.Class),
 		},
 	})
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+		// backpressure: tell the client when a slot is likely to open
+		writeRetryError(w, http.StatusTooManyRequests, err, s.svc.RetryHint())
+		return
+	case errors.Is(err, admission.ErrRateLimited), errors.Is(err, admission.ErrShedding):
+		// load shedding: the rejection carries its own exact retry moment
+		// (next token, or the breaker's remaining cooldown)
+		hint, _ := admission.RetryAfter(err)
+		writeRetryError(w, http.StatusTooManyRequests, err, hint)
+		return
+	case errors.Is(err, admission.ErrNeverFits):
+		// permanent for this daemon: the job exceeds the whole memory
+		// budget, so retrying would never help — not a 429
+		writeError(w, http.StatusRequestEntityTooLarge, err)
 		return
 	case errors.Is(err, service.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeRetryError(w, http.StatusServiceUnavailable, err, 10*time.Second)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
@@ -148,17 +168,35 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleHealthz reports liveness plus the daemon's build identity (Go
-// version, module version, VCS revision) and pool shape — enough for an
-// operator to tell WHAT is healthy, not just that something answered.
+// handleHealthz is liveness: it always answers 200 as long as the process
+// serves HTTP — even degraded (breaker open) or draining — and reports the
+// health state machine, the memory-budget ledger, the daemon's build
+// identity (Go version, module version, VCS revision) and pool shape, so
+// an operator can tell WHAT is healthy, not just that something answered.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.svc.Health()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         string(h.State),
+		"health":         h,
 		"uptime_s":       time.Since(s.start).Seconds(),
 		"build":          s.build,
 		"workers":        s.svc.Workers(),
 		"queue_capacity": s.svc.QueueSize(),
 	})
+}
+
+// handleReadyz is readiness: 200 only while the daemon is healthy and
+// accepting new work. Degraded (breaker open/half-open) and draining both
+// answer 503 with a Retry-After, so load balancers steer submissions away
+// while /healthz keeps reporting the process alive.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.svc.Health()
+	if h.State == admission.Healthy {
+		writeJSON(w, http.StatusOK, h)
+		return
+	}
+	setRetryAfter(w, 10*time.Second)
+	writeJSON(w, http.StatusServiceUnavailable, h)
 }
 
 // handleMetrics serves the service's expvar counters as JSON (the default,
@@ -185,4 +223,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// setRetryAfter attaches a Retry-After header (whole seconds, minimum 1 —
+// the header has no sub-second form).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+}
+
+// writeRetryError is writeError plus a Retry-After header — every shedding
+// response (429 or drain 503) tells the client when to come back.
+func writeRetryError(w http.ResponseWriter, code int, err error, retryAfter time.Duration) {
+	setRetryAfter(w, retryAfter)
+	writeError(w, code, err)
 }

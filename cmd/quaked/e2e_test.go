@@ -300,9 +300,18 @@ func TestKillRestartResumesFromValidCheckpoint(t *testing.T) {
 		}
 	}
 
-	// the finished job cleaned its checkpoints up
-	if files := checkpointFiles(t, dataDir, jobID); len(files) != 0 {
-		t.Fatalf("checkpoint debris after completion: %v", files)
+	// the finished job cleaned its checkpoints up; removal happens after the
+	// job flips to done (outside the service lock), so allow it a moment
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		files := checkpointFiles(t, dataDir, jobID)
+		if len(files) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoint debris after completion: %v", files)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	d2.stop(t)
 }

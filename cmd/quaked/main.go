@@ -7,8 +7,11 @@
 //
 //	POST   /v1/jobs             submit {"scenario": "quickstart"|"tangshan",
 //	                            "overrides": {...}, "mx": 2, "my": 2,
-//	                            "timeout_s": 60} -> 202 + job status
-//	                            (429 when the bounded queue is full)
+//	                            "timeout_s": 60, "class": "batch"} -> 202 +
+//	                            job status (429 + Retry-After when the queue
+//	                            is full, the submission rate limit is hit or
+//	                            the circuit breaker is shedding; 413 when the
+//	                            job can never fit the -mem-budget)
 //	GET    /v1/jobs             list all jobs, newest first
 //	GET    /v1/jobs/{id}        status: state, steps done/total, ETA
 //	GET    /v1/jobs/{id}/result RunManifest-shaped summary + station traces
@@ -26,8 +29,14 @@
 //	                            folded so far: mean/std surface-PGV maps,
 //	                            exceedance probabilities per threshold,
 //	                            percentile PGV maps, mean intensity
-//	GET    /healthz             liveness + build info (go version, VCS
-//	                            revision), uptime, pool shape
+//	GET    /healthz             liveness (always 200 while the process
+//	                            serves): health state machine
+//	                            healthy/degraded/draining, breaker state,
+//	                            memory-budget ledger, build info (go
+//	                            version, VCS revision), uptime, pool shape
+//	GET    /readyz              readiness: 200 only while healthy; degraded
+//	                            or draining answers 503 + Retry-After so
+//	                            load balancers steer submissions away
 //	GET    /metrics             expvar counters: queued/running/done/failed,
 //	                            cache hits, aggregate step throughput
 //	GET    /metrics?format=prometheus
@@ -69,6 +78,18 @@
 // rank-panic faults in-run by rewinding to the newest valid checkpoint —
 // without burning a job-level attempt. Faults surface as
 // swquake_engine_faults_total{kind} and swquake_engine_recoveries_total.
+//
+// Overload protection (README "Surviving overload", DESIGN.md §3.8):
+// -mem-budget admits jobs against a global working-set budget priced by
+// the admission cost model (never-fitting jobs get 413, the rest wait
+// their turn), -submit-rate token-buckets submissions, and
+// -breaker-threshold/-breaker-cooldown arm a circuit breaker that sheds
+// load after repeated worker panics, engine faults or progress stalls
+// until a probe job succeeds. Batch-class jobs (ensemble members) yield
+// to interactive ones without being starved; jobs recovered on boot
+// trickle in under slow-start; -progress-deadline cancels-for-retry any
+// run whose step counter stops moving. Every shedding response carries
+// Retry-After; rejections surface as swquake_jobs_rejected_total{reason}.
 package main
 
 import (
@@ -85,6 +106,7 @@ import (
 	"syscall"
 	"time"
 
+	"swquake/internal/admission"
 	"swquake/internal/ensemble"
 	"swquake/internal/faultinject"
 	"swquake/internal/service"
@@ -120,6 +142,13 @@ func run(args []string) error {
 		stepDeadline  = fs.Duration("step-deadline", 0, "parallel-engine watchdog: fail a halo exchange waiting longer than this as a stalled rank (0 = off)")
 		haloCRC       = fs.Bool("halo-crc", false, "CRC32-frame parallel halo exchanges so in-flight corruption is detected")
 		engineRetries = fs.Int("engine-retries", 0, "in-run recovery budget: engine faults healed by rewinding to the newest valid checkpoint (0 = off)")
+
+		memBudget        = fs.String("mem-budget", "", "admission memory budget, e.g. 2GiB or 512MB: jobs whose estimated working set would exceed it wait; jobs that can never fit are rejected with 413 (empty = unlimited)")
+		submitRate       = fs.Float64("submit-rate", 0, "max accepted submissions per second, token-bucket smoothed; rejected submissions get 429 + Retry-After (0 = unlimited)")
+		submitBurst      = fs.Int("submit-burst", 0, "token-bucket burst for -submit-rate (0 = 2x rate)")
+		breakerThreshold = fs.Int("breaker-threshold", 5, "consecutive worker panics/engine faults/progress stalls that trip the circuit breaker into shedding (0 = never)")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 15*time.Second, "how long a tripped breaker sheds before admitting a probe job")
+		progressDeadline = fs.Duration("progress-deadline", 0, "per-job progress watchdog: cancel-and-retry a running job whose step counter does not advance for this long; size it well above the slowest expected step (0 = off)")
 
 		traceDir  = fs.String("trace", "", "write a Chrome trace-event file (DIR/quaked-trace.jsonl, open in Perfetto) covering job lifecycles and engine steps")
 		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this extra address (off by default)")
@@ -159,21 +188,34 @@ func run(args []string) error {
 		}()
 	}
 
+	var budgetBytes int64
+	if *memBudget != "" {
+		budgetBytes, err = admission.ParseBytes(*memBudget)
+		if err != nil {
+			return err
+		}
+	}
 	opts := service.Options{
-		Workers:         *workers,
-		QueueSize:       *queueSize,
-		CacheSize:       *cacheSize,
-		DefaultTimeout:  *jobTimeout,
-		DataDir:         *dataDir,
-		CheckpointEvery: *ckptEvery,
-		CheckpointKeep:  *ckptKeep,
-		MaxAttempts:     *maxAttempt,
-		RetryBackoff:    *retryWait,
-		StepDeadline:    *stepDeadline,
-		HaloCRC:         *haloCRC,
-		EngineRetries:   *engineRetries,
-		Logger:          logger,
-		Tracer:          tracer,
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		CacheSize:        *cacheSize,
+		DefaultTimeout:   *jobTimeout,
+		DataDir:          *dataDir,
+		CheckpointEvery:  *ckptEvery,
+		CheckpointKeep:   *ckptKeep,
+		MaxAttempts:      *maxAttempt,
+		RetryBackoff:     *retryWait,
+		StepDeadline:     *stepDeadline,
+		HaloCRC:          *haloCRC,
+		EngineRetries:    *engineRetries,
+		MemBudget:        budgetBytes,
+		SubmitRate:       *submitRate,
+		SubmitBurst:      *submitBurst,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		ProgressDeadline: *progressDeadline,
+		Logger:           logger,
+		Tracer:           tracer,
 	}
 	if *selftest || *selftestEns {
 		return runSelftest(opts, *selftestEns)

@@ -29,7 +29,7 @@ func TestHealthzBuildInfo(t *testing.T) {
 	if code := doJSON(t, "GET", ts.URL+"/healthz", "", &hz); code != http.StatusOK {
 		t.Fatalf("healthz returned %d", code)
 	}
-	if hz.Status != "ok" || hz.Workers != 2 || hz.QueueCapacity != 8 {
+	if hz.Status != "healthy" || hz.Workers != 2 || hz.QueueCapacity != 8 {
 		t.Fatalf("healthz payload wrong: %+v", hz)
 	}
 	if hz.Build.GoVersion == "" {

@@ -1,0 +1,94 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassNormalize(t *testing.T) {
+	cases := []struct {
+		in   Class
+		want Class
+		ok   bool
+	}{
+		{"", ClassInteractive, true},
+		{ClassInteractive, ClassInteractive, true},
+		{ClassBatch, ClassBatch, true},
+		{"urgent", "", false},
+		{"Batch", "", false}, // classes are case-sensitive wire values
+	}
+	for _, c := range cases {
+		got, err := c.in.Normalize()
+		if (err == nil) != c.ok {
+			t.Errorf("Normalize(%q): err=%v, want ok=%v", c.in, err, c.ok)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1234", 1234, true},
+		{"64KB", 64_000, true},
+		{"64KiB", 64 << 10, true},
+		{"512MiB", 512 << 20, true},
+		{"512mib", 512 << 20, true},
+		{"1.5GB", 1_500_000_000, true},
+		{"2GiB", 2 << 30, true},
+		{"1TiB", 1 << 40, true},
+		{"3TB", 3_000_000_000_000, true},
+		{"100B", 100, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"-5MB", 0, false},
+		{"MB", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseBytes(%q): err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytesRoundTrips(t *testing.T) {
+	for _, b := range []int64{0, 512, 64 << 10, 512 << 20, 3 << 30} {
+		s := FormatBytes(b)
+		got, err := ParseBytes(s)
+		if err != nil {
+			t.Fatalf("ParseBytes(FormatBytes(%d)=%q): %v", b, s, err)
+		}
+		// FormatBytes rounds to one decimal; allow 5% slack.
+		if diff := got - b; diff < -b/20 || diff > b/20 {
+			t.Errorf("round-trip %d -> %q -> %d drifted", b, s, got)
+		}
+	}
+}
+
+func TestRetryAfterExtraction(t *testing.T) {
+	base := &RetryAfterError{Err: ErrRateLimited, RetryAfter: 3 * time.Second}
+	wrapped := fmt.Errorf("submit: %w", base)
+	if !errors.Is(wrapped, ErrRateLimited) {
+		t.Fatal("wrapped RetryAfterError lost its cause")
+	}
+	d, ok := RetryAfter(wrapped)
+	if !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfter(wrapped) = %v, %v; want 3s, true", d, ok)
+	}
+	if _, ok := RetryAfter(errors.New("plain")); ok {
+		t.Fatal("plain error reported a retry hint")
+	}
+}

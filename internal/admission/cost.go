@@ -1,0 +1,110 @@
+package admission
+
+import (
+	"swquake/internal/core"
+	"swquake/internal/decomp"
+	"swquake/internal/grid"
+)
+
+// Cost is the admission-relevant price of one job.
+type Cost struct {
+	// Bytes is the estimated steady-state resident working set of the run:
+	// every per-point array the engine allocates, summed over ranks, plus
+	// seismogram and surface-map storage. It deliberately excludes
+	// transient spikes (checkpoint pack buffers, LZ4 scratch) — budgets
+	// should keep the headroom DESIGN.md §3.8 documents.
+	Bytes int64
+	// PointSteps is the relative compute volume: weighted kernel
+	// point-updates summed over the whole run. Dimensionless; useful for
+	// ordering and Retry-After heuristics, not wall-clock prediction.
+	PointSteps float64
+}
+
+// EstimateCost predicts the working set and compute volume of running cfg
+// on an mx×my simulated-MPI process grid (both <=1 means serial). The
+// estimate is derived from core.Config.Storage — the engine-side account
+// of what New allocates — so it tracks the real allocator; the admission
+// tests pin it to live runtime.MemStats measurements within
+// CostAccuracyFactor.
+//
+// The estimate is always >= 0 and monotone in grid volume (more points
+// never cost less). An invalid layout falls back to the serial shape —
+// Submit-side validation rejects it before the estimate matters.
+func EstimateCost(cfg core.Config, mx, my int) Cost {
+	if mx < 1 {
+		mx = 1
+	}
+	if my < 1 {
+		my = 1
+	}
+	d := cfg.Dims
+	if !d.Valid() {
+		return Cost{}
+	}
+
+	block := d
+	ranks := int64(1)
+	var pg *decomp.ProcessGrid
+	if mx > 1 || my > 1 {
+		if g, err := decomp.NewProcessGrid(d.Nx, d.Ny, d.Nz, mx, my); err == nil {
+			pg = g
+			block = pg.BlockDims()
+			ranks = int64(pg.Size())
+		}
+	}
+	h := int64(grid.DefaultHalo)
+	padded := (int64(block.Nx) + 2*h) * (int64(block.Ny) + 2*h) * (int64(block.Nz) + 2*h)
+	interior := block.Points()
+
+	st := cfg.Storage()
+	perRank := padded * (4*int64(st.FullFields32) + 2*int64(st.FullFields16))
+	if st.SpongeRamp {
+		perRank += interior * 4
+	}
+	bytes := ranks * perRank
+
+	if st.SurfacePGV {
+		// per-rank block maps plus the merged global map (float64 cells)
+		bytes += ranks*int64(block.Nx)*int64(block.Ny)*8 + int64(d.Nx)*int64(d.Ny)*8
+	}
+	if pg != nil {
+		// per-step halo pack/unpack buffers, both directions, all ranks
+		for r := 0; r < int(ranks); r++ {
+			bytes += pg.HaloBytesPerStep(r, st.FullFields32, int(h))
+		}
+	}
+	// seismograms: 3 components × recorded samples × float32, per station
+	if n := len(cfg.Stations); n > 0 && cfg.Steps > 0 {
+		sample := cfg.SampleEvery
+		if sample <= 0 {
+			sample = 1
+		}
+		samples := int64(cfg.Steps)/int64(sample) + 1
+		bytes += int64(n) * samples * 3 * 4
+	}
+
+	// weighted kernel point-updates per step, mirroring Perf accounting:
+	// velocity + stress always run; plasticity, sponge and attenuation add
+	// passes of roughly comparable per-point weight
+	weight := 2.0
+	if cfg.Nonlinear {
+		weight++
+	}
+	if st.SpongeRamp {
+		weight += 0.3
+	}
+	if cfg.Attenuation.Enabled {
+		weight += 0.5
+	}
+	return Cost{
+		Bytes:      bytes,
+		PointSteps: weight * float64(d.Points()) * float64(cfg.Steps),
+	}
+}
+
+// CostAccuracyFactor is the documented accuracy envelope of EstimateCost:
+// for representative scenarios the estimate stays within this factor of
+// the live-measured allocation (tested against runtime.MemStats). Budget
+// operators should size budgets assuming the estimate may be off by this
+// much either way.
+const CostAccuracyFactor = 2.0

@@ -1,0 +1,186 @@
+package admission
+
+import (
+	"runtime"
+	"testing"
+
+	"swquake/internal/compress"
+	"swquake/internal/core"
+	"swquake/internal/grid"
+	"swquake/internal/model"
+	"swquake/internal/seismo"
+	"swquake/internal/source"
+)
+
+func costConfig(nx, ny, nz int) core.Config {
+	return core.Config{
+		Dims:  grid.Dims{Nx: nx, Ny: ny, Nz: nz},
+		Dx:    100,
+		Steps: 50,
+		Model: model.Homogeneous{M: model.Material{Vp: 4000, Vs: 2310, Rho: 2500}},
+		Sources: []source.PointSource{{
+			I: nx / 2, J: ny / 2, K: nz / 2,
+			M: source.Explosion(),
+			S: source.Ricker{F0: 4, T0: 0.25, M0: 1e13},
+		}},
+		Stations:    []seismo.Station{{Name: "S1", I: nx / 3, J: ny / 2, K: 0}},
+		SpongeWidth: 4,
+		RecordPGV:   true,
+	}
+}
+
+// measureLiveAlloc reports the heap bytes kept live by build's result.
+func measureLiveAlloc(t *testing.T, build func() any) int64 {
+	t.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	obj := build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	live := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	runtime.KeepAlive(obj)
+	return live
+}
+
+// TestEstimateCostTracksMemStats pins the cost model to reality: for
+// representative configurations the estimate must stay within
+// CostAccuracyFactor of the heap the engine actually keeps live after
+// core.New. This is the test that fails if the allocator and
+// core.Config.Storage drift apart.
+func TestEstimateCostTracksMemStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates tens of MB")
+	}
+	cases := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"elastic", func(c *core.Config) {}},
+		{"nonlinear", func(c *core.Config) {
+			c.Nonlinear = true
+			c.Plasticity = core.PlasticityConfig{Cohesion: 5e6, FrictionAngle: 30}
+		}},
+		{"compressed+attenuation", func(c *core.Config) {
+			c.Compression.Method = compress.Half
+			c.Attenuation = core.AttenuationConfig{Enabled: true, Qp: 100, Qs: 50}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := costConfig(64, 64, 48) // ~17MB base: well above GC noise
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			est := EstimateCost(cfg, 1, 1).Bytes
+			measured := measureLiveAlloc(t, func() any {
+				sim, err := core.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sim
+			})
+			t.Logf("estimate %s, measured %s", FormatBytes(est), FormatBytes(measured))
+			if measured <= 0 {
+				t.Fatalf("implausible measurement %d", measured)
+			}
+			if float64(est) > float64(measured)*CostAccuracyFactor ||
+				float64(measured) > float64(est)*CostAccuracyFactor {
+				t.Fatalf("estimate %d vs measured %d outside factor %g",
+					est, measured, CostAccuracyFactor)
+			}
+		})
+	}
+}
+
+func TestEstimateCostParallelGeometry(t *testing.T) {
+	cfg := costConfig(64, 64, 48)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	serial := EstimateCost(cfg, 1, 1)
+	par := EstimateCost(cfg, 2, 2)
+	if par.Bytes <= serial.Bytes {
+		t.Fatalf("4 ranks (%d B) must cost more than serial (%d B): halo duplication",
+			par.Bytes, serial.Bytes)
+	}
+	// An invalid layout (64 not divisible by 3) falls back to the serial
+	// shape rather than returning garbage.
+	if got := EstimateCost(cfg, 3, 1); got.Bytes != serial.Bytes {
+		t.Fatalf("invalid layout estimate %d, want serial fallback %d", got.Bytes, serial.Bytes)
+	}
+}
+
+func TestEstimateCostMonotoneInVolume(t *testing.T) {
+	for _, base := range [][3]int{{16, 16, 12}, {32, 24, 16}, {48, 48, 32}} {
+		cfg := costConfig(base[0], base[1], base[2])
+		small := EstimateCost(cfg, 1, 1)
+		for axis := 0; axis < 3; axis++ {
+			grown := base
+			grown[axis] *= 2
+			big := EstimateCost(costConfig(grown[0], grown[1], grown[2]), 1, 1)
+			if big.Bytes < small.Bytes || big.PointSteps < small.PointSteps {
+				t.Fatalf("doubling axis %d of %v shrank the estimate: %+v -> %+v",
+					axis, base, small, big)
+			}
+		}
+	}
+}
+
+// FuzzEstimateCost is the property check the issue calls for: across
+// arbitrary configurations the estimate is non-negative and monotone in
+// grid volume.
+func FuzzEstimateCost(f *testing.F) {
+	f.Add(16, 16, 12, 100, true, false, false, false, 1, 1)
+	f.Add(64, 64, 48, 2000, false, true, true, true, 2, 2)
+	f.Add(7, 3, 1, 1, false, false, false, false, 4, 4)
+	f.Fuzz(func(t *testing.T, nx, ny, nz, steps int, nonlinear, atten, sls, comp bool, mx, my int) {
+		clamp := func(v, lo, hi int) int {
+			if v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		nx, ny, nz = clamp(nx, 1, 96), clamp(ny, 1, 96), clamp(nz, 1, 96)
+		steps = clamp(steps, 1, 1<<20)
+		mx, my = clamp(mx, 1, 8), clamp(my, 1, 8)
+
+		cfg := costConfig(nx, ny, nz)
+		cfg.Steps = steps
+		cfg.SpongeWidth = 0
+		cfg.Nonlinear = nonlinear
+		if nonlinear {
+			cfg.Plasticity = core.PlasticityConfig{Cohesion: 5e6, FrictionAngle: 30}
+		}
+		cfg.Attenuation = core.AttenuationConfig{Enabled: atten, UseSLS: sls, Qp: 100, Qs: 50}
+		if comp {
+			cfg.Compression.Method = compress.Half
+		}
+
+		c := EstimateCost(cfg, mx, my)
+		if c.Bytes < 0 || c.PointSteps < 0 {
+			t.Fatalf("negative cost %+v for %dx%dx%d on %dx%d", c, nx, ny, nz, mx, my)
+		}
+		if c.Bytes == 0 {
+			t.Fatalf("zero byte estimate for a valid grid %dx%dx%d", nx, ny, nz)
+		}
+		// Monotone in volume: growing z (which never changes the x/y rank
+		// layout) must not shrink either component.
+		big := cfg
+		big.Dims.Nz = clamp(nz*2, nz+1, 192)
+		bc := EstimateCost(big, mx, my)
+		if bc.Bytes < c.Bytes || bc.PointSteps < c.PointSteps {
+			t.Fatalf("growing nz %d->%d shrank cost: %+v -> %+v", nz, big.Dims.Nz, c, bc)
+		}
+		// More steps never cost fewer point-steps.
+		longer := cfg
+		longer.Steps = steps + 1
+		if lc := EstimateCost(longer, mx, my); lc.PointSteps < c.PointSteps {
+			t.Fatalf("adding a step shrank PointSteps: %v -> %v", c.PointSteps, lc.PointSteps)
+		}
+	})
+}

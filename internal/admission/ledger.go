@@ -1,0 +1,101 @@
+package admission
+
+import "sync"
+
+// Ledger is the global memory budget: a byte total and the reservations
+// currently held against it. Reservations are keyed by job ID and made by
+// the Queue as it dequeues, so the invariant "reserved never exceeds the
+// budget" holds by construction — the overload drill asserts it from the
+// outside via Snapshot.
+type Ledger struct {
+	total int64 // <= 0: unlimited (every TryReserve succeeds)
+
+	mu   sync.Mutex
+	used int64
+	held map[string]int64
+	hw   int64
+}
+
+// NewLedger builds a ledger over a byte budget; total <= 0 disables
+// budgeting (unlimited).
+func NewLedger(total int64) *Ledger {
+	return &Ledger{total: total, held: make(map[string]int64)}
+}
+
+// Total reports the configured budget (0 when unlimited).
+func (l *Ledger) Total() int64 {
+	if l.total <= 0 {
+		return 0
+	}
+	return l.total
+}
+
+// Fits reports whether a job of this size could EVER run: its reservation
+// alone must not exceed the total. A false answer is permanent — the
+// submit-side rejection ErrNeverFits.
+func (l *Ledger) Fits(bytes int64) bool {
+	return l.total <= 0 || bytes <= l.total
+}
+
+// TryReserve reserves bytes for a job if the budget allows it now.
+// Reserving an ID that already holds a reservation is a no-op success (a
+// job never needs its working set twice; this makes retry re-dispatch
+// safe). A non-positive size reserves nothing and always succeeds.
+func (l *Ledger) TryReserve(id string, bytes int64) bool {
+	if l.total <= 0 || bytes <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.held[id]; ok {
+		return true
+	}
+	if l.used+bytes > l.total {
+		return false
+	}
+	l.held[id] = bytes
+	l.used += bytes
+	if l.used > l.hw {
+		l.hw = l.used
+	}
+	return true
+}
+
+// Release returns a job's reservation to the budget (no-op for unknown
+// IDs, so release paths need not track whether a reservation was made).
+func (l *Ledger) Release(id string) {
+	if l.total <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b, ok := l.held[id]; ok {
+		l.used -= b
+		delete(l.held, id)
+	}
+}
+
+// LedgerSnapshot is a point-in-time view of the budget for /healthz and
+// the overload drill's never-exceeds assertion.
+type LedgerSnapshot struct {
+	// TotalBytes is the configured budget (0 = unlimited).
+	TotalBytes int64 `json:"total_bytes"`
+	// ReservedBytes is the sum of live reservations.
+	ReservedBytes int64 `json:"reserved_bytes"`
+	// HighWaterBytes is the largest ReservedBytes has ever been.
+	HighWaterBytes int64 `json:"high_water_bytes"`
+	// Reservations counts jobs currently holding budget.
+	Reservations int `json:"reservations"`
+}
+
+// Snapshot returns a consistent view of the ledger.
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LedgerSnapshot{
+		TotalBytes:     l.Total(),
+		ReservedBytes:  l.used,
+		HighWaterBytes: l.hw,
+		Reservations:   len(l.held),
+	}
+}

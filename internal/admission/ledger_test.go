@@ -1,0 +1,62 @@
+package admission
+
+import "testing"
+
+func TestLedgerReserveRelease(t *testing.T) {
+	l := NewLedger(100)
+	if !l.Fits(100) || l.Fits(101) {
+		t.Fatal("Fits must compare against the full budget")
+	}
+	if !l.TryReserve("a", 60) {
+		t.Fatal("first reservation within budget refused")
+	}
+	if l.TryReserve("b", 60) {
+		t.Fatal("over-budget reservation accepted")
+	}
+	if !l.TryReserve("a", 60) {
+		t.Fatal("re-reserving a held ID must be an idempotent success")
+	}
+	if !l.TryReserve("c", 40) {
+		t.Fatal("exact-fit reservation refused")
+	}
+	snap := l.Snapshot()
+	if snap.ReservedBytes != 100 || snap.Reservations != 2 || snap.HighWaterBytes != 100 {
+		t.Fatalf("snapshot = %+v, want 100 reserved over 2 jobs", snap)
+	}
+	l.Release("a")
+	l.Release("a") // double release is a no-op
+	l.Release("zzz")
+	snap = l.Snapshot()
+	if snap.ReservedBytes != 40 || snap.Reservations != 1 {
+		t.Fatalf("after release: %+v", snap)
+	}
+	if snap.HighWaterBytes != 100 {
+		t.Fatalf("high water must persist, got %d", snap.HighWaterBytes)
+	}
+	if !l.TryReserve("b", 60) {
+		t.Fatal("freed budget not reusable")
+	}
+}
+
+func TestLedgerUnlimited(t *testing.T) {
+	l := NewLedger(0)
+	if !l.Fits(1 << 60) {
+		t.Fatal("unlimited ledger rejected a size")
+	}
+	if !l.TryReserve("huge", 1<<60) {
+		t.Fatal("unlimited ledger refused a reservation")
+	}
+	if s := l.Snapshot(); s.TotalBytes != 0 {
+		t.Fatalf("unlimited snapshot total = %d, want 0", s.TotalBytes)
+	}
+}
+
+func TestLedgerZeroByteReservation(t *testing.T) {
+	l := NewLedger(10)
+	if !l.TryReserve("free", 0) {
+		t.Fatal("zero-byte reservation must always succeed")
+	}
+	if s := l.Snapshot(); s.ReservedBytes != 0 {
+		t.Fatalf("zero-byte reservation consumed budget: %+v", s)
+	}
+}

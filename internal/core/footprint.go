@@ -1,0 +1,54 @@
+package core
+
+import "swquake/internal/compress"
+
+// Storage describes the allocation-relevant shape of one simulator block:
+// how many per-point arrays New will build for a given configuration. It is
+// the engine-side input of the admission cost model (internal/admission),
+// kept here — next to the allocations it mirrors — so the estimator cannot
+// silently drift from what New actually allocates:
+//
+//   - fd.NewWavefield: 9 dynamic fields (u,v,w + 6 stresses)
+//   - fd.NewMediumFromModel: 3 material fields (rho, lambda, mu)
+//   - plasticity.NewParams: 6 fields when Nonlinear
+//   - fd.NewAttenuation: 2 fields (GP, GS); fd.NewSLS: 13 (6 memory + 6
+//     snapshots + phi)
+//   - newCompressedState: one 16-bit companion per dynamic field (the
+//     float32 wavefield stays allocated as the decompress working buffer)
+//   - fd.NewSponge: one interior-sized (no halo) float32 ramp
+//   - seismo.NewPGVField: one Nx×Ny float64 surface map
+type Storage struct {
+	// FullFields32 counts float32 fields allocated over the full block
+	// including halo padding ((N+2H)^3 points each, H = fd.Halo).
+	FullFields32 int
+	// FullFields16 counts 16-bit compressed companions of the same padded
+	// extent (compressed runs keep both representations resident).
+	FullFields16 int
+	// SpongeRamp marks the interior-sized float32 damping ramp.
+	SpongeRamp bool
+	// SurfacePGV marks the Nx×Ny float64 peak-ground-velocity map.
+	SurfacePGV bool
+}
+
+// Storage reports the per-point storage the engine allocates for one block
+// of this configuration. It does not validate; counts reflect the
+// configuration as given (call Validate first for defaults).
+func (c Config) Storage() Storage {
+	st := Storage{FullFields32: 9 + 3} // wavefield + medium
+	if c.Nonlinear {
+		st.FullFields32 += 6
+	}
+	if c.Attenuation.Enabled {
+		if c.Attenuation.UseSLS {
+			st.FullFields32 += 13
+		} else {
+			st.FullFields32 += 2
+		}
+	}
+	if c.Compression.Method != compress.Off {
+		st.FullFields16 = 9
+	}
+	st.SpongeRamp = c.SpongeWidth > 0
+	st.SurfacePGV = c.RecordPGV
+	return st
+}

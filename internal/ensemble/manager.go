@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"swquake/internal/admission"
 	"swquake/internal/manifest"
 	"swquake/internal/scenario"
 	"swquake/internal/service"
@@ -356,11 +357,15 @@ func (m *Manager) runMember(c *campaign, idx int) {
 			m.memberSkip(c, idx, err)
 			return
 		}
+		// campaign members are batch-class work: the admission scheduler's
+		// weighted dispatch keeps a sweep from starving interactive jobs
+		spec.Class = admission.ClassBatch
 		req := service.Request{
 			Config:  cfg,
 			MX:      spec.MX,
 			MY:      spec.MY,
 			Timeout: time.Duration(spec.TimeoutS * float64(time.Second)),
+			Class:   admission.ClassBatch,
 			Spec:    &spec,
 		}
 		for {
@@ -374,18 +379,32 @@ func (m *Manager) runMember(c *campaign, idx int) {
 				break
 			}
 			switch {
-			case errors.Is(err, service.ErrQueueFull):
-				// backpressure: the campaign yields rather than spinning
+			case errors.Is(err, service.ErrQueueFull),
+				errors.Is(err, admission.ErrRateLimited),
+				errors.Is(err, admission.ErrShedding):
+				// backpressure or load shedding: the campaign yields rather
+				// than spinning, honoring the rejection's Retry-After hint
+				// when it carries one (capped so drains stay responsive)
+				wait := 50 * time.Millisecond
+				if hint, ok := admission.RetryAfter(err); ok && hint > wait {
+					if hint > time.Second {
+						hint = time.Second
+					}
+					wait = hint
+				}
 				select {
 				case <-c.ctx.Done():
 					m.park(c, idx)
 					return
-				case <-time.After(50 * time.Millisecond):
+				case <-time.After(wait):
 				}
 			case errors.Is(err, service.ErrClosed):
 				m.park(c, idx)
 				return
 			default:
+				// includes admission.ErrNeverFits: a member bigger than the
+				// memory budget can never run on this daemon — skip it, the
+				// campaign completes on the members that fit
 				m.memberSkip(c, idx, err)
 				return
 			}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"swquake/internal/admission"
 	"swquake/internal/atomicio"
 	"swquake/internal/faultinject"
 	"swquake/internal/scenario"
@@ -27,11 +28,19 @@ type JobSpec struct {
 	MX        int                `json:"mx,omitempty"`
 	MY        int                `json:"my,omitempty"`
 	TimeoutS  float64            `json:"timeout_s,omitempty"`
+	// Class is the admission priority class ("interactive" or "batch";
+	// empty = interactive). Journaled so a recovered batch job re-enters
+	// the batch lane instead of jumping ahead of interactive work.
+	Class admission.Class `json:"class,omitempty"`
 }
 
 // request rebuilds the full Request from the spec.
 func (sp JobSpec) request() (Request, error) {
 	cfg, err := scenario.Build(sp.Scenario, sp.Overrides)
+	if err != nil {
+		return Request{}, err
+	}
+	class, err := sp.Class.Normalize()
 	if err != nil {
 		return Request{}, err
 	}
@@ -41,6 +50,7 @@ func (sp JobSpec) request() (Request, error) {
 		MX:      sp.MX,
 		MY:      sp.MY,
 		Timeout: time.Duration(sp.TimeoutS * float64(time.Second)),
+		Class:   class,
 		Spec:    &spec,
 	}, nil
 }

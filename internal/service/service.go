@@ -6,6 +6,17 @@
 // progress tracking through the engine's step-observer hook, expvar-style
 // metrics, and graceful drain on shutdown.
 //
+// Overload protection (DESIGN.md §3.8) is layered on through
+// internal/admission: every submission is priced by the cost model and
+// admitted against a global memory budget at dispatch time (never-fitting
+// jobs are rejected at submit with admission.ErrNeverFits), priority
+// classes keep batch sweeps from starving interactive work, a token
+// bucket bounds the submission rate, a circuit breaker sheds load after
+// repeated worker panics/engine faults until a probe succeeds, jobs
+// recovered on boot trickle in under TCP-style slow-start, and a progress
+// watchdog cancels-for-retry any run that stops advancing. Health exposes
+// the resulting healthy/degraded/draining state machine.
+//
 // This is the layer the ROADMAP's north star asks for: the paper's batch
 // pipeline turned into a subsystem that serves many concurrent scenario
 // requests. cmd/quaked exposes it over HTTP; the public swquake package
@@ -30,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swquake/internal/admission"
 	"swquake/internal/checkpoint"
 	"swquake/internal/core"
 	"swquake/internal/faultinject"
@@ -49,6 +61,12 @@ var (
 	// ErrNotFinished is returned by Result while the job is queued/running.
 	ErrNotFinished = errors.New("service: job not finished")
 )
+
+// errProgressStalled is the cancellation cause the progress watchdog
+// injects when a running job stops advancing: the engine surfaces it via
+// context.Cause, which lets the outcome switch tell a stall (retry) from a
+// user cancellation (terminal).
+var errProgressStalled = errors.New("service: job made no step progress within the progress deadline")
 
 // State is a job's lifecycle state.
 type State string
@@ -78,6 +96,10 @@ type Request struct {
 	// Timeout is the per-job deadline measured from the moment a worker
 	// starts the run; 0 uses Options.DefaultTimeout (0 = no deadline).
 	Timeout time.Duration
+	// Class is the admission priority class: interactive (the default) or
+	// batch. The scheduler's weighted dispatch keeps batch work — ensemble
+	// campaign members — from starving interactive submissions.
+	Class admission.Class
 	// Spec, when set, is the replayable form of this request. Spec'd jobs
 	// are journaled (and so survive a daemon crash); jobs submitted with a
 	// raw Config only are not. The Config must be the one Spec builds.
@@ -133,6 +155,34 @@ type Options struct {
 	// the fault surfaces as a job failure (0 = no in-run recovery; the
 	// job-level retry policy still applies).
 	EngineRetries int
+
+	// MemBudget bounds the summed estimated working set
+	// (admission.EstimateCost) of concurrently dispatched jobs, in bytes.
+	// Jobs that would exceed it wait in the queue; jobs that could never
+	// fit are rejected at submit with admission.ErrNeverFits. 0 = unlimited.
+	MemBudget int64
+	// SubmitRate bounds accepted submissions per second through a token
+	// bucket of SubmitBurst capacity (burst 0 = 2*rate, min 1). Cache hits
+	// are exempt — serving a cached result allocates nothing. 0 = unlimited.
+	SubmitRate  float64
+	SubmitBurst int
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive infrastructure failures — worker panics, engine faults,
+	// progress stalls; simulation-level failures (divergence, timeouts)
+	// don't count. While open, Submit sheds with admission.ErrShedding for
+	// BreakerCooldown (0 = 15s), then admits one probe submission; any job
+	// success closes the breaker. 0 disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProgressDeadline arms the per-job progress watchdog: a running job
+	// whose step counter does not advance for this long is canceled with
+	// cause errProgressStalled and retried through the normal retry policy
+	// (0 = no watchdog). This catches livelocks the engine-level
+	// StepDeadline cannot see — e.g. a worker wedged outside a halo wait.
+	ProgressDeadline time.Duration
+	// InteractiveWeight is the scheduler's class weighting: interactive
+	// wins this many of every weight+1 contested dispatches (0 = 4).
+	InteractiveWeight int
 
 	// Logger receives structured job-lifecycle events (submitted, started,
 	// done, failed, retrying, canceled, recovered), each carrying job_id
@@ -213,6 +263,10 @@ type job struct {
 	id  string
 	req Request
 	key string
+	// item is the admission-queue entry carrying the job's priority class
+	// and budget reservation size; reused verbatim on retry requeues (the
+	// ledger's idempotent TryReserve makes that safe).
+	item *admission.Item
 
 	// guarded by Service.mu
 	state       State
@@ -242,13 +296,21 @@ type job struct {
 // Service runs simulation jobs on a bounded queue and worker pool.
 type Service struct {
 	opts   Options
-	queue  chan *job
+	sched  *admission.Queue
+	ledger *admission.Ledger
+	limit  *admission.TokenBucket
+	brk    *admission.Breaker
 	cache  *resultCache
 	vars   *expvar.Map
 	wg     sync.WaitGroup
 	wal    *journal // nil without DataDir
 	log    *slog.Logger
 	tracer *telemetry.Tracer
+
+	// rejectKinds counts admission rejections by reason for the labeled
+	// Prometheus family; the total lives in the expvar map.
+	rejectMu    sync.Mutex
+	rejectKinds map[string]int64
 
 	// jobLatency observes submit-to-terminal seconds of every finished job.
 	jobLatency *telemetry.Histogram
@@ -282,10 +344,15 @@ var counterNames = []string{
 	"jobs_submitted", "jobs_queued", "jobs_running",
 	"jobs_done", "jobs_failed", "jobs_canceled",
 	"jobs_retried", "jobs_recovered", "worker_panics",
+	"jobs_rejected", "progress_stalls", "breaker_trips",
 	"journal_events", "checkpoints_saved",
 	"cache_hits", "cache_misses", "steps_done",
 	"halo_bytes", "engine_faults", "engine_recoveries",
 }
+
+// rejectReasons are the label values of swquake_jobs_rejected_total,
+// pre-seeded so dashboards see zeros rather than absent series.
+var rejectReasons = []string{"queue-full", "budget", "rate-limit", "breaker", "draining"}
 
 // New builds a Service and starts its worker pool. It panics when Open
 // fails, which cannot happen without Options.DataDir — durable callers
@@ -362,13 +429,24 @@ func Open(opts Options) (*Service, error) {
 	if opts.Logger == nil {
 		opts.Logger = telemetry.Discard()
 	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 15 * time.Second
+	}
+	if opts.SubmitRate > 0 && opts.SubmitBurst <= 0 {
+		opts.SubmitBurst = int(2 * opts.SubmitRate)
+	}
+	ledger := admission.NewLedger(opts.MemBudget)
 	s := &Service{
 		opts:        opts,
-		queue:       make(chan *job, queueSize),
+		sched:       admission.NewQueue(queueSize, ledger, opts.InteractiveWeight),
+		ledger:      ledger,
+		limit:       admission.NewTokenBucket(opts.SubmitRate, opts.SubmitBurst),
+		brk:         admission.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
 		cache:       newResultCache(opts.CacheSize),
 		vars:        new(expvar.Map).Init(),
 		log:         opts.Logger,
 		tracer:      opts.Tracer,
+		rejectKinds: make(map[string]int64),
 		jobLatency:  telemetry.NewHistogram(telemetry.DefLatencyBuckets),
 		stageAgg:    telemetry.NewStageClock(),
 		faultKinds:  make(map[string]int64),
@@ -379,6 +457,9 @@ func Open(opts Options) (*Service, error) {
 	for _, name := range counterNames {
 		s.vars.Add(name, 0)
 	}
+	for _, reason := range rejectReasons {
+		s.rejectKinds[reason] = 0
+	}
 
 	if opts.DataDir != "" {
 		wal, err := openJournal(journalPath(opts.DataDir))
@@ -386,10 +467,19 @@ func Open(opts Options) (*Service, error) {
 			return nil, err
 		}
 		s.wal = wal
+		requeued := 0
 		for _, rec := range live {
-			if err := s.requeueRecovered(rec); err != nil {
+			n, err := s.requeueRecovered(rec)
+			if err != nil {
 				return nil, err
 			}
+			requeued += n
+		}
+		if requeued > 0 {
+			// slow-start: a rebooted daemon trickles its recovered backlog in
+			// (in-flight window 1, doubling on success) instead of slamming
+			// the pool the moment the workers spin up
+			s.sched.SetSlowStart(1)
 		}
 	}
 
@@ -416,10 +506,11 @@ func jobSeq(id string) int {
 }
 
 // requeueRecovered turns a journal record back into a queued job under the
-// job's original ID. A spec that no longer builds (e.g. a scenario removed
-// between boots) parks the job as permanently failed instead of erroring
-// the whole boot.
-func (s *Service) requeueRecovered(rec *jobRecord) error {
+// job's original ID, reporting how many jobs (0 or 1) actually rejoined
+// the queue. A spec that no longer builds (e.g. a scenario removed between
+// boots) — or one that no longer fits a shrunken memory budget — parks the
+// job as permanently failed instead of erroring the whole boot.
+func (s *Service) requeueRecovered(rec *jobRecord) (int, error) {
 	j := &job{
 		id:        rec.id,
 		submitted: time.Now(),
@@ -429,37 +520,49 @@ func (s *Service) requeueRecovered(rec *jobRecord) error {
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 
-	req, err := rec.spec.request()
-	if err != nil {
+	failBoot := func(err error) {
 		j.state = StateFailed
-		j.err = fmt.Errorf("service: recovered job %s no longer builds: %w", rec.id, err)
+		j.err = err
 		j.finished = time.Now()
 		close(j.done)
 		s.jobs[j.id] = j
 		s.vars.Add("jobs_failed", 1)
 		s.logEvent(journalEvent{Event: "failed", JobID: j.id, Error: j.err.Error()})
-		return nil
+	}
+
+	req, err := rec.spec.request()
+	if err != nil {
+		failBoot(fmt.Errorf("service: recovered job %s no longer builds: %w", rec.id, err))
+		return 0, nil
 	}
 	ckey, err := ConfigKey(req.Config)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	cost := admission.EstimateCost(req.Config, req.MX, req.MY)
+	if !s.ledger.Fits(cost.Bytes) {
+		failBoot(fmt.Errorf("service: recovered job %s: %w (needs %s of a %s budget)",
+			rec.id, admission.ErrNeverFits,
+			admission.FormatBytes(cost.Bytes), admission.FormatBytes(s.ledger.Total())))
+		return 0, nil
 	}
 	j.req = req
 	j.key = fmt.Sprintf("%s/%dx%d", ckey, req.MX, req.MY)
 	j.stepsTotal = req.Config.Steps
 	j.state = StateQueued
-	select {
-	case s.queue <- j:
-	default:
-		return fmt.Errorf("service: recovery queue full requeueing %s", rec.id)
+	j.item = &admission.Item{
+		ID: j.id, Class: req.Class, Bytes: cost.Bytes, Recovered: true, Payload: j,
+	}
+	if err := s.sched.Push(j.item); err != nil {
+		return 0, fmt.Errorf("service: recovery requeueing %s: %w", rec.id, err)
 	}
 	s.jobs[j.id] = j
 	s.vars.Add("jobs_submitted", 1)
 	s.noteQueued(1)
 	s.vars.Add("jobs_recovered", 1)
-	s.jobLog(j).Info("job recovered", "attempt", j.attempt)
+	s.jobLog(j).Info("job recovered", "attempt", j.attempt, "budget_bytes", cost.Bytes)
 	s.tracer.NameThread(0, jobSeq(j.id), j.id)
-	return nil
+	return 1, nil
 }
 
 // noteQueued is the single bottleneck for queue-depth accounting: it moves
@@ -505,17 +608,45 @@ func (s *Service) Workers() int { return s.opts.Workers }
 // QueueSize reports the submission-queue capacity.
 func (s *Service) QueueSize() int { return s.opts.QueueSize }
 
+// reject counts one admission rejection under its reason label.
+func (s *Service) reject(reason string) {
+	s.vars.Add("jobs_rejected", 1)
+	s.rejectMu.Lock()
+	s.rejectKinds[reason]++
+	s.rejectMu.Unlock()
+}
+
 // Submit validates and enqueues a job, returning its ID. An identical
 // prior submission (same canonical config hash and process-grid layout)
 // is served from the result cache without re-solving: the job is born
-// done with Status.CacheHit set. When the queue is full, Submit returns
-// ErrQueueFull immediately — callers translate that to backpressure.
+// done with Status.CacheHit set, and — because serving a cached result
+// allocates nothing — bypasses every admission gate, so cached answers
+// keep flowing even while the daemon sheds load.
+//
+// Uncached submissions pass the admission gates in order: the token-bucket
+// rate limiter (admission.ErrRateLimited), the circuit breaker
+// (admission.ErrShedding) — both carrying Retry-After hints — the
+// never-fits budget check (admission.ErrNeverFits, permanent), and the
+// bounded queue (ErrQueueFull — backpressure). Jobs that fit the budget
+// but can't reserve it yet are accepted and wait in the queue.
 func (s *Service) Submit(req Request) (string, error) {
 	cfg := req.Config
 	if err := cfg.Validate(); err != nil {
 		return "", err
 	}
 	req.Config = cfg // keep the default-filled copy
+	class, err := req.Class.Normalize()
+	if err != nil {
+		return "", err
+	}
+	req.Class = class
+	if req.Spec != nil && req.Spec.Class != class {
+		// journal the class the scheduler actually used, so recovery
+		// re-enters the same lane (copy: the caller's spec stays untouched)
+		sp := *req.Spec
+		sp.Class = class
+		req.Spec = &sp
+	}
 	ckey, err := ConfigKey(cfg)
 	if err != nil {
 		return "", err
@@ -532,6 +663,7 @@ func (s *Service) Submit(req Request) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.reject("draining")
 		return "", ErrClosed
 	}
 	s.nextID++
@@ -560,45 +692,77 @@ func (s *Service) Submit(req Request) (string, error) {
 		return j.id, nil
 	}
 
-	j.state = StateQueued
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		s.vars.Add("jobs_submitted", 1)
-		s.vars.Add("cache_misses", 1)
-		s.noteQueued(1)
-		s.jobLog(j).Info("job submitted",
-			"steps", j.stepsTotal, "mx", req.MX, "my", req.MY)
-		s.tracer.NameThread(0, jobSeq(j.id), j.id)
-		if req.Spec != nil {
-			// write-ahead: the submission is on disk before Submit returns,
-			// so a crash between accept and completion cannot lose the job
-			s.logEvent(journalEvent{Event: "submitted", JobID: j.id, Spec: req.Spec})
-		}
-		return j.id, nil
-	default:
+	if err := s.limit.Allow(); err != nil {
 		j.cancel()
+		s.reject("rate-limit")
+		return "", err
+	}
+	cost := admission.EstimateCost(cfg, req.MX, req.MY)
+	if !s.ledger.Fits(cost.Bytes) {
+		j.cancel()
+		s.reject("budget")
+		return "", fmt.Errorf("service: %w (job needs %s of a %s budget)",
+			admission.ErrNeverFits,
+			admission.FormatBytes(cost.Bytes), admission.FormatBytes(s.ledger.Total()))
+	}
+	// the breaker gate runs last so an admitted probe can only be lost to
+	// a full queue, which ProbeAborted rolls back below
+	if err := s.brk.Allow(); err != nil {
+		j.cancel()
+		s.reject("breaker")
+		return "", err
+	}
+
+	j.state = StateQueued
+	j.item = &admission.Item{ID: j.id, Class: class, Bytes: cost.Bytes, Payload: j}
+	if err := s.sched.Push(j.item); err != nil {
+		j.cancel()
+		s.brk.ProbeAborted()
+		s.reject("queue-full")
 		return "", ErrQueueFull
 	}
+	s.jobs[j.id] = j
+	s.vars.Add("jobs_submitted", 1)
+	s.vars.Add("cache_misses", 1)
+	s.noteQueued(1)
+	s.jobLog(j).Info("job submitted",
+		"steps", j.stepsTotal, "mx", req.MX, "my", req.MY,
+		"class", string(class), "budget_bytes", cost.Bytes)
+	s.tracer.NameThread(0, jobSeq(j.id), j.id)
+	if req.Spec != nil {
+		// write-ahead: the submission is on disk before Submit returns,
+		// so a crash between accept and completion cannot lose the job
+		s.logEvent(journalEvent{Event: "submitted", JobID: j.id, Spec: req.Spec})
+	}
+	return j.id, nil
 }
 
-// worker drains the queue until Drain closes it.
+// worker pops admitted items — each arrives with its budget reservation
+// already held — until Drain closes the scheduler and it runs dry. Done
+// releases the reservation and feeds slow-start.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for {
+		it, ok := s.sched.Pop()
+		if !ok {
+			return
+		}
+		j := it.Payload.(*job)
+		s.sched.Done(it, s.runJob(j))
 	}
 }
 
 // runJob executes one job end to end: state transitions, the deadline
-// context, the progress observer, auto-checkpointing, the engine run
-// (panic-isolated), and result/retry bookkeeping.
-func (s *Service) runJob(j *job) {
+// context, the progress watchdog, the progress observer,
+// auto-checkpointing, the engine run (panic-isolated), and result/retry
+// bookkeeping. It reports whether the job completed successfully (the
+// slow-start advance signal).
+func (s *Service) runJob(j *job) bool {
 	s.mu.Lock()
 	if j.state != StateQueued { // canceled while waiting in the queue
 		s.mu.Unlock()
 		s.noteQueued(-1)
-		return
+		return false
 	}
 	j.state = StateRunning
 	j.attempt++
@@ -622,6 +786,48 @@ func (s *Service) runJob(j *job) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+
+	// progress watchdog: poll the job's step counter and cancel the run —
+	// with a cause the outcome switch can tell from a user cancellation —
+	// when it stops advancing. The engine propagates context.Cause into its
+	// error, so a stalled run lands in the retry branch, where the normal
+	// retry-from-checkpoint machinery takes over.
+	if pd := s.opts.ProgressDeadline; pd > 0 {
+		var stall context.CancelCauseFunc
+		ctx, stall = context.WithCancelCause(ctx)
+		defer stall(nil)
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			poll := pd / 4
+			if poll < 10*time.Millisecond {
+				poll = 10 * time.Millisecond
+			}
+			tick := time.NewTicker(poll)
+			defer tick.Stop()
+			last, lastAdvance := j.stepsDone.Load(), time.Now()
+			for {
+				select {
+				case <-watchDone:
+					return
+				case <-ctx.Done():
+					return
+				case now := <-tick.C:
+					if cur := j.stepsDone.Load(); cur != last {
+						last, lastAdvance = cur, now
+						continue
+					}
+					if now.Sub(lastAdvance) >= pd {
+						s.vars.Add("progress_stalls", 1)
+						jl.Warn("progress stalled, canceling for retry",
+							"steps_done", last, "deadline", pd.String())
+						stall(errProgressStalled)
+						return
+					}
+				}
+			}
+		}()
 	}
 
 	cfg := j.req.Config
@@ -707,6 +913,7 @@ func (s *Service) runJob(j *job) {
 
 	var res *core.Result
 	var err error
+	var panicked bool
 	func() {
 		// a panicking worker must fail its job, not the daemon: the stack
 		// unwinds here, the outcome switch below records the failure, and
@@ -715,6 +922,7 @@ func (s *Service) runJob(j *job) {
 			if r := recover(); r != nil {
 				res = nil
 				err = fmt.Errorf("service: job %s panicked: %v", j.id, r)
+				panicked = true
 				s.vars.Add("worker_panics", 1)
 			}
 		}()
@@ -738,6 +946,13 @@ func (s *Service) runJob(j *job) {
 	}
 
 	s.vars.Add("jobs_running", -1)
+
+	// infrastructure failures — worker panics, contained engine faults,
+	// progress stalls — feed the circuit breaker; simulation-level failures
+	// (divergence, timeouts) are the job's own problem and don't count
+	var ef *core.EngineFault
+	infraFailure := panicked || errors.As(err, &ef) || errors.Is(err, errProgressStalled)
+
 	s.mu.Lock()
 	j.finished = time.Now()
 	// endAttempt closes out the attempt's trace span and, when the state is
@@ -760,6 +975,7 @@ func (s *Service) runJob(j *job) {
 		s.cache.add(j.key, j.result)
 		s.vars.Add("jobs_done", 1)
 		s.mu.Unlock()
+		s.brk.Success() // any success closes the breaker (probe or not)
 		endAttempt(StateDone, true)
 		s.mergeStages(res.Stages)
 		jl.Info("job done",
@@ -768,6 +984,8 @@ func (s *Service) runJob(j *job) {
 			s.logEvent(journalEvent{Event: "done", JobID: j.id, Attempt: attempt})
 		}
 		s.removeCheckpoints(ctl)
+		close(j.done)
+		return true
 	case errors.Is(err, context.Canceled):
 		j.err = err
 		j.state = StateCanceled
@@ -795,6 +1013,7 @@ func (s *Service) runJob(j *job) {
 		s.retryTimers[j.id] = time.AfterFunc(delay, func() { s.requeueRetry(j) })
 		s.vars.Add("jobs_retried", 1)
 		s.mu.Unlock()
+		s.noteBreakerFailure(infraFailure, jl)
 		endAttempt(StateRetrying, false)
 		s.tracer.Instant(0, tid, "job", "retry", finished,
 			map[string]any{"error": err.Error(), "delay_s": delay.Seconds()})
@@ -802,12 +1021,13 @@ func (s *Service) runJob(j *job) {
 		if j.req.Spec != nil {
 			s.logEvent(journalEvent{Event: "retrying", JobID: j.id, Attempt: attempt, Error: err.Error()})
 		}
-		return // job is not terminal: j.done stays open
+		return false // job is not terminal: j.done stays open
 	default: // includes deadline-exceeded runs and exhausted retries
 		j.err = err
 		j.state = StateFailed
 		s.vars.Add("jobs_failed", 1)
 		s.mu.Unlock()
+		s.noteBreakerFailure(infraFailure, jl)
 		endAttempt(StateFailed, true)
 		jl.Error("job failed", "error", err.Error())
 		if j.req.Spec != nil {
@@ -815,6 +1035,20 @@ func (s *Service) runJob(j *job) {
 		}
 	}
 	close(j.done)
+	return false
+}
+
+// noteBreakerFailure feeds one counted infrastructure failure to the
+// circuit breaker and logs the trip when this failure opened it.
+func (s *Service) noteBreakerFailure(infra bool, jl *slog.Logger) {
+	if !infra {
+		return
+	}
+	if s.brk.Failure() {
+		s.vars.Add("breaker_trips", 1)
+		jl.Error("circuit breaker tripped: shedding new submissions",
+			"cooldown", s.opts.BreakerCooldown.String())
+	}
 }
 
 // mergeStages folds one run's per-stage clock into the service aggregate.
@@ -878,14 +1112,15 @@ func (s *Service) requeueRetry(j *job) {
 		return
 	}
 	j.state = StateQueued
-	select {
-	case s.queue <- j:
-		s.noteQueued(1)
-		s.mu.Unlock()
-	default:
+	// the job's original item is reused: same class, same budget size, and
+	// the ledger's idempotent TryReserve makes the re-dispatch safe
+	if err := s.sched.Push(j.item); err != nil {
 		s.failRetryingLocked(j, ErrQueueFull, true)
 		s.mu.Unlock()
+		return
 	}
+	s.noteQueued(1)
+	s.mu.Unlock()
 }
 
 // failRetryingLocked permanently fails a job parked in StateRetrying.
@@ -1062,7 +1297,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		s.sched.Close()
 		s.log.Info("service draining", "queued", s.queueDepth.Load())
 	}
 	// jobs parked in retry backoff will never run again in this process:
@@ -1087,6 +1322,31 @@ func (s *Service) Drain(ctx context.Context) error {
 	case <-idle:
 		return nil
 	case <-ctx.Done():
+		// park whatever is still waiting in the scheduler — including jobs
+		// blocked on a budget reservation that a canceled-but-unwinding run
+		// hasn't released yet — exactly like jobs parked in retry backoff:
+		// no worker will run them, their journal entries stay non-terminal,
+		// and the next boot on this data directory recovers them
+		for _, it := range s.sched.Flush() {
+			j, ok := it.Payload.(*job)
+			if !ok {
+				continue
+			}
+			s.mu.Lock()
+			if j.state != StateQueued {
+				s.mu.Unlock()
+				continue
+			}
+			j.parked = true
+			j.state = StateCanceled
+			j.err = context.Canceled
+			j.finished = time.Now()
+			close(j.done)
+			s.mu.Unlock()
+			s.noteQueued(-1)
+			s.vars.Add("jobs_canceled", 1)
+			s.jobLog(j).Warn("job parked by drain deadline", "while", "queued")
+		}
 		s.mu.Lock()
 		for _, j := range s.jobs {
 			if !j.state.Terminal() {
@@ -1100,17 +1360,86 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 }
 
+// Health is the service's coarse health snapshot — what /healthz reports
+// and what /readyz gates on. The state machine: Draining once shutdown
+// begins (terminal), Degraded while the circuit breaker is open or
+// half-open (alive, serving status and cached results, shedding new work),
+// Healthy otherwise.
+type Health struct {
+	State   admission.HealthState    `json:"state"`
+	Breaker admission.BreakerState   `json:"breaker"`
+	Budget  admission.LedgerSnapshot `json:"budget"`
+	// QueueDepth and Running describe the load right now.
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int64 `json:"running"`
+	// SlowStartCap/SlowStartInflight expose the boot-recovery window while
+	// it is active (cap 0 = inactive).
+	SlowStartCap      int `json:"slow_start_cap,omitempty"`
+	SlowStartInflight int `json:"slow_start_inflight,omitempty"`
+}
+
+// Health reports the daemon's health state machine.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	h := Health{
+		Breaker:    s.brk.State(),
+		Budget:     s.ledger.Snapshot(),
+		QueueDepth: s.queueDepth.Load(),
+	}
+	if v, ok := s.vars.Get("jobs_running").(*expvar.Int); ok {
+		h.Running = v.Value()
+	}
+	h.SlowStartCap, h.SlowStartInflight = s.sched.SlowStart()
+	switch {
+	case closed:
+		h.State = admission.Draining
+	case h.Breaker != admission.BreakerClosed:
+		h.State = admission.Degraded
+	default:
+		h.State = admission.Healthy
+	}
+	return h
+}
+
+// RetryHint estimates when a rejected submission is worth retrying: the
+// mean observed job latency scaled by how many jobs are ahead per worker,
+// clamped to [1s, 60s]. It is the Retry-After value quaked attaches to
+// queue-full 429s (rate-limit and breaker rejections carry their own
+// exact hints).
+func (s *Service) RetryHint() time.Duration {
+	mean := time.Second
+	if n := s.jobLatency.Count(); n > 0 {
+		mean = time.Duration(s.jobLatency.Sum() / float64(n) * float64(time.Second))
+	}
+	ahead := float64(s.queueDepth.Load())/float64(s.opts.Workers) + 1
+	hint := time.Duration(float64(mean) * ahead)
+	if hint < time.Second {
+		hint = time.Second
+	}
+	if hint > time.Minute {
+		hint = time.Minute
+	}
+	return hint
+}
+
 // Metrics is a consistent snapshot of the service counters.
 type Metrics struct {
-	Submitted, Queued, Running      int64
-	Done, Failed, Canceled          int64
-	Retried, Recovered              int64
-	WorkerPanics                    int64
+	Submitted, Queued, Running int64
+	Done, Failed, Canceled     int64
+	Retried, Recovered         int64
+	WorkerPanics               int64
+	// Rejected counts submissions refused by the admission layer (queue
+	// full, over budget, rate limited, breaker open, draining);
+	// ProgressStalls counts watchdog cancellations and BreakerTrips how
+	// many times repeated infrastructure failures opened the breaker.
+	Rejected, ProgressStalls, BreakerTrips int64
 	// EngineFaults counts faults detected inside the parallel engine
 	// (halo corruption, stalled ranks, rank panics); EngineRecoveries
 	// counts the subset the engine healed in-run by rewinding to its
 	// newest valid checkpoint — without burning a job-level attempt.
-	EngineFaults, EngineRecoveries int64
+	EngineFaults, EngineRecoveries  int64
 	JournalEvents                   int64
 	CheckpointsSaved                int64
 	CacheHits, CacheMisses          int64
@@ -1120,6 +1449,11 @@ type Metrics struct {
 	// the deepest the queue has been since boot — the capacity-planning
 	// number (how close did backpressure get to ErrQueueFull).
 	QueueDepth, QueueHighWater int64
+	// MemBudgetBytes is the configured admission budget (0 = unlimited);
+	// MemReservedBytes the estimated working set of dispatched jobs right
+	// now; MemHighWaterBytes the largest that reservation sum has been —
+	// by construction never above MemBudgetBytes.
+	MemBudgetBytes, MemReservedBytes, MemHighWaterBytes int64
 }
 
 // Metrics snapshots the counters (the same values /metrics serves).
@@ -1130,28 +1464,35 @@ func (s *Service) Metrics() Metrics {
 		}
 		return 0
 	}
+	budget := s.ledger.Snapshot()
 	return Metrics{
-		Submitted:        get("jobs_submitted"),
-		Queued:           get("jobs_queued"),
-		Running:          get("jobs_running"),
-		Done:             get("jobs_done"),
-		Failed:           get("jobs_failed"),
-		Canceled:         get("jobs_canceled"),
-		Retried:          get("jobs_retried"),
-		Recovered:        get("jobs_recovered"),
-		WorkerPanics:     get("worker_panics"),
-		EngineFaults:     get("engine_faults"),
-		EngineRecoveries: get("engine_recoveries"),
-		JournalEvents:    get("journal_events"),
-		CheckpointsSaved: get("checkpoints_saved"),
-		CacheHits:        get("cache_hits"),
-		CacheMisses:      get("cache_misses"),
-		StepsDone:        get("steps_done"),
-		CacheEntries:     s.cache.len(),
-		Workers:          s.opts.Workers,
-		QueueCap:         s.opts.QueueSize,
-		QueueDepth:       s.queueDepth.Load(),
-		QueueHighWater:   s.queueHW.Load(),
+		Rejected:          get("jobs_rejected"),
+		ProgressStalls:    get("progress_stalls"),
+		BreakerTrips:      get("breaker_trips"),
+		MemBudgetBytes:    budget.TotalBytes,
+		MemReservedBytes:  budget.ReservedBytes,
+		MemHighWaterBytes: budget.HighWaterBytes,
+		Submitted:         get("jobs_submitted"),
+		Queued:            get("jobs_queued"),
+		Running:           get("jobs_running"),
+		Done:              get("jobs_done"),
+		Failed:            get("jobs_failed"),
+		Canceled:          get("jobs_canceled"),
+		Retried:           get("jobs_retried"),
+		Recovered:         get("jobs_recovered"),
+		WorkerPanics:      get("worker_panics"),
+		EngineFaults:      get("engine_faults"),
+		EngineRecoveries:  get("engine_recoveries"),
+		JournalEvents:     get("journal_events"),
+		CheckpointsSaved:  get("checkpoints_saved"),
+		CacheHits:         get("cache_hits"),
+		CacheMisses:       get("cache_misses"),
+		StepsDone:         get("steps_done"),
+		CacheEntries:      s.cache.len(),
+		Workers:           s.opts.Workers,
+		QueueCap:          s.opts.QueueSize,
+		QueueDepth:        s.queueDepth.Load(),
+		QueueHighWater:    s.queueHW.Load(),
 	}
 }
 
@@ -1251,4 +1592,41 @@ func (s *Service) RegisterProm(reg *telemetry.PromRegistry) {
 			}
 			return out
 		})
+
+	// admission / overload-protection families (DESIGN.md §3.8)
+	reg.LabeledCounterFunc("swquake_jobs_rejected_total",
+		"Submissions refused by the admission layer, by reason (queue-full, budget, rate-limit, breaker, draining).",
+		"reason",
+		func() map[string]float64 {
+			s.rejectMu.Lock()
+			defer s.rejectMu.Unlock()
+			out := make(map[string]float64, len(s.rejectKinds))
+			for k, v := range s.rejectKinds {
+				out[k] = float64(v)
+			}
+			return out
+		})
+	reg.CounterFunc("swquake_progress_stalls_total",
+		"Running jobs canceled by the progress watchdog for making no step progress.",
+		counter("progress_stalls"))
+	reg.CounterFunc("swquake_breaker_trips_total",
+		"Times repeated infrastructure failures opened the circuit breaker.",
+		counter("breaker_trips"))
+	reg.GaugeFunc("swquake_breaker_open",
+		"1 while the circuit breaker is open or half-open (daemon degraded), else 0.",
+		func() float64 {
+			if s.brk.State() != admission.BreakerClosed {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("swquake_mem_budget_bytes",
+		"Configured admission memory budget in bytes (0 = unlimited).",
+		func() float64 { return float64(s.ledger.Snapshot().TotalBytes) })
+	reg.GaugeFunc("swquake_mem_reserved_bytes",
+		"Estimated working set of currently dispatched jobs (ledger reservations).",
+		func() float64 { return float64(s.ledger.Snapshot().ReservedBytes) })
+	reg.GaugeFunc("swquake_mem_high_water_bytes",
+		"Largest the reservation sum has ever been — never above the budget by construction.",
+		func() float64 { return float64(s.ledger.Snapshot().HighWaterBytes) })
 }
